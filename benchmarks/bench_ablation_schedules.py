@@ -1,0 +1,44 @@
+"""A1 — cooling-schedule ablation at an equal move budget.
+
+The paper's pitch: the adaptive (Lam) schedule needs no per-problem
+tuning yet is competitive.  We compare Lam adaptive, modified-Lam,
+untuned geometric, zero-temperature hill climbing and random restart.
+"""
+
+from repro.experiments.ablations import (
+    SCHEDULE_ABLATION_HEADER,
+    run_schedule_ablation,
+)
+
+from benchmarks.conftest import bench_iters, bench_runs
+
+
+def test_schedule_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_schedule_ablation(
+            n_clbs=2000,
+            iterations=bench_iters(),
+            warmup=1200,
+            runs=bench_runs(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Schedule ablation (motion detection, 2000 CLBs)")
+    print(SCHEDULE_ABLATION_HEADER)
+    for row in rows:
+        print(row.format_row())
+
+    by_name = {row.method: row for row in rows}
+    # Both annealers must decisively beat blind random restarts.
+    assert by_name["lam"].makespan.mean < by_name["random_search"].makespan.mean - 5.0
+    # The adaptive schedule is at least competitive with hill climbing
+    # (temperature must not hurt).
+    assert (
+        by_name["lam"].makespan.mean
+        <= by_name["hill_climb"].makespan.mean + 3.0
+    )
+    # And it meets the paper's real-time constraint on average.
+    assert by_name["lam"].makespan.mean < 40.0

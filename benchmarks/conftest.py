@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_RUNS``   — repetitions per configuration (default 3;
+  the paper's Fig. 3 uses 100 — set it that high for a faithful rerun).
+* ``REPRO_BENCH_ITERS``  — annealing iterations per run (default 8000).
+
+Every bench prints the paper-style table it regenerates, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+report generator (EXPERIMENTS.md records one such run).
+"""
+
+import os
+
+import pytest
+
+
+def bench_runs(default: int = 3) -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def bench_iters(default: int = 8000) -> int:
+    return int(os.environ.get("REPRO_BENCH_ITERS", default))
+
+
+@pytest.fixture(scope="session")
+def runs() -> int:
+    return bench_runs()
+
+
+@pytest.fixture(scope="session")
+def iters() -> int:
+    return bench_iters()

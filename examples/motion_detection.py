@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's full experimental story on one page.
+
+1. Fig. 2: one traced exploration run (warmup wandering, adaptive
+   cooling, freeze below the 40 ms constraint).
+2. Fig. 3 (abridged): a device-size sweep on a few FPGA capacities.
+3. The section-5 comparison against the GA baseline of [6].
+
+Usage::
+
+    python examples/motion_detection.py [--fast]
+
+``--fast`` shrinks budgets to finish in a few seconds.
+"""
+
+import sys
+
+from repro.experiments.comparison import run_comparison
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import format_fig3_table, run_fig3
+from repro.sa.trace import downsample
+
+
+def main(fast: bool = False) -> None:
+    # Even "fast" keeps enough budget to converge; below ~4000
+    # iterations the annealer is still cooling and results mislead.
+    iterations = 4000 if fast else 8000
+    warmup = 800 if fast else 1200
+    runs = 1 if fast else 3
+
+    print("=" * 70)
+    print("Fig. 2 — one traced exploration run (2000-CLB device)")
+    print("=" * 70)
+    fig2 = run_fig2(iterations=iterations, warmup_iterations=warmup, seed=7)
+    print(fig2.format_summary())
+    print(f"\n{'iteration':>10} {'exec (ms)':>10} {'contexts':>9}")
+    for record in downsample(fig2.trace, every=max(len(fig2.trace) // 20, 1)):
+        print(f"{record.iteration:>10} {record.current_cost:>10.2f} "
+              f"{record.num_contexts:>9}")
+
+    print()
+    print("=" * 70)
+    print("Fig. 3 (abridged) — device-size sweep")
+    print("=" * 70)
+    rows = run_fig3(
+        sizes=(200, 800, 2000, 5000),
+        runs=runs,
+        iterations=iterations,
+        warmup_iterations=warmup,
+    )
+    print(format_fig3_table(rows))
+
+    print()
+    print("=" * 70)
+    print("Section 5 — adaptive SA vs the GA flow of [6]")
+    print("=" * 70)
+    comparison = run_comparison(
+        sa_iterations=iterations,
+        sa_warmup=warmup,
+        ga_population=60 if fast else 300,
+        ga_generations=10 if fast else 40,
+        seed=11,
+    )
+    print(comparison.format_table())
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

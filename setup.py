@@ -1,0 +1,8 @@
+"""Setup shim: enables `python setup.py develop` on environments whose
+setuptools predates PEP 660 editable wheels (no `wheel` package).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

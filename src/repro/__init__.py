@@ -1,0 +1,109 @@
+"""repro — design-space exploration for dynamically reconfigurable
+architectures.
+
+A production-quality reproduction of Miramond & Delosme, *Design Space
+Exploration for Dynamically Reconfigurable Architectures*, DATE 2005:
+adaptive simulated annealing that simultaneously explores HW/SW spatial
+partitioning, temporal partitioning into FPGA contexts, software
+scheduling and bus transaction ordering, evaluated by the longest path
+of a sequentialization-edge-augmented search graph.
+
+Quickstart::
+
+    from repro import (
+        motion_detection_application, epicure_architecture,
+        DesignSpaceExplorer,
+    )
+
+    app = motion_detection_application()
+    arch = epicure_architecture(n_clbs=2000)
+    explorer = DesignSpaceExplorer(app, arch, iterations=5000, seed=1)
+    result = explorer.run()
+    print(result.best_evaluation.makespan_ms)
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    CycleError,
+    ModelError,
+    ArchitectureError,
+    CapacityError,
+    MappingError,
+    MoveError,
+    InfeasibleMoveError,
+    ConfigurationError,
+)
+from repro.graph import Dag, PathCountClosure, MaxPlusClosure
+from repro.model import (
+    Application,
+    GeneratorConfig,
+    Implementation,
+    SdfActor,
+    SdfChannel,
+    SdfGraph,
+    Task,
+    motion_detection_application,
+    random_application,
+    MOTION_TOTAL_SW_TIME_MS,
+)
+from repro.arch import (
+    Architecture,
+    Asic,
+    Bus,
+    Processor,
+    ReconfigurableCircuit,
+    epicure_architecture,
+)
+from repro.mapping import (
+    Evaluation,
+    Evaluator,
+    ExecutionSimulator,
+    MakespanCost,
+    Schedule,
+    SimulationResult,
+    Solution,
+    SystemCost,
+    extract_schedule,
+    random_initial_solution,
+    render_gantt,
+    simulate,
+)
+from repro.sa import (
+    AnnealerConfig,
+    DesignSpaceExplorer,
+    ExplorationResult,
+    GeometricSchedule,
+    LamDelosmeSchedule,
+    ModifiedLamSchedule,
+    MoveGenerator,
+    SimulatedAnnealing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError", "GraphError", "CycleError", "ModelError",
+    "ArchitectureError", "CapacityError", "MappingError", "MoveError",
+    "InfeasibleMoveError", "ConfigurationError",
+    # graph
+    "Dag", "PathCountClosure", "MaxPlusClosure",
+    # model
+    "Application", "Implementation", "Task",
+    "SdfActor", "SdfChannel", "SdfGraph",
+    "GeneratorConfig", "random_application",
+    "motion_detection_application", "MOTION_TOTAL_SW_TIME_MS",
+    # architecture
+    "Architecture", "Asic", "Bus", "Processor", "ReconfigurableCircuit",
+    "epicure_architecture",
+    # mapping
+    "Evaluation", "Evaluator", "MakespanCost", "Schedule", "Solution",
+    "SystemCost", "extract_schedule", "random_initial_solution",
+    "render_gantt", "ExecutionSimulator", "SimulationResult", "simulate",
+    # annealing
+    "AnnealerConfig", "DesignSpaceExplorer", "ExplorationResult",
+    "GeometricSchedule", "LamDelosmeSchedule", "ModifiedLamSchedule",
+    "MoveGenerator", "SimulatedAnnealing",
+    "__version__",
+]

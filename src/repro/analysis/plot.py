@@ -1,0 +1,130 @@
+"""Dependency-free ASCII plotting for traces and sweeps.
+
+The paper's figures are line plots; this renders their equivalents in a
+terminal so the benches and examples can show the curves without
+matplotlib (nothing to install, output lands in logs and EXPERIMENTS
+records verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Point = Tuple[float, float]
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[Point]]],
+    width: int = 70,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more named series as an ASCII chart.
+
+    Each series is drawn with its own glyph (``*``, ``o``, ``+``, …).
+    Axes are linear; ranges span all finite points.
+    """
+    if width < 10 or height < 4:
+        raise ConfigurationError("plot needs width >= 10 and height >= 4")
+    points = [
+        (x, y)
+        for _, data in series
+        for x, y in data
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    glyphs = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for k, (_, data) in enumerate(series):
+        glyph = glyphs[k % len(glyphs)]
+        for x, y in data:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            margin = f"{y_hi:>9.6g} |"
+        elif i == height - 1:
+            margin = f"{y_lo:>9.6g} |"
+        else:
+            margin = " " * 10 + "|"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_lo:<12.6g}" + " " * max(0, width - 24) + f"{x_hi:>12.6g}"
+    )
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    legend = "   ".join(
+        f"{glyphs[k % len(glyphs)]} {name}" for k, (name, _) in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def plot_trace(trace, width: int = 70, height: int = 16) -> str:
+    """Fig. 2-style plot of a :class:`TraceRecord` list: execution time
+    and context count (scaled) vs iteration."""
+    if not trace:
+        return "(empty trace)"
+    cost_series = [(float(r.iteration), r.current_cost) for r in trace]
+    max_cost = max(c for _, c in cost_series)
+    max_ctx = max(r.num_contexts for r in trace) or 1
+    # contexts are rescaled onto the cost axis like the paper's dual axis
+    ctx_series = [
+        (float(r.iteration), r.num_contexts * max_cost / (2 * max_ctx))
+        for r in trace
+    ]
+    return ascii_plot(
+        [
+            ("execution time (ms)", cost_series),
+            (f"contexts (x{max_cost / (2 * max_ctx):.1f} ms/ctx)", ctx_series),
+        ],
+        width=width,
+        height=height,
+        x_label="iteration",
+    )
+
+
+def plot_sweep(rows, width: int = 70, height: int = 16) -> str:
+    """Fig. 3-style plot of :class:`DeviceSweepRow` results."""
+    if not rows:
+        return "(empty sweep)"
+    exec_series = [(float(r.n_clbs), r.execution_ms) for r in rows]
+    reconf_series = [(float(r.n_clbs), r.reconfig_ms) for r in rows]
+    max_exec = max(e for _, e in exec_series)
+    max_ctx = max(r.num_contexts for r in rows) or 1.0
+    ctx_series = [
+        (float(r.n_clbs), r.num_contexts * max_exec / (2 * max_ctx))
+        for r in rows
+    ]
+    return ascii_plot(
+        [
+            ("execution time (ms)", exec_series),
+            ("reconfiguration (ms)", reconf_series),
+            (f"contexts (x{max_exec / (2 * max_ctx):.1f} ms/ctx)", ctx_series),
+        ],
+        width=width,
+        height=height,
+        x_label="device size (CLBs)",
+    )

@@ -1,0 +1,125 @@
+"""Device-size sweep machinery (the paper's Fig. 3 experiment).
+
+For each FPGA capacity, run the explorer ``runs`` times with different
+seeds and average execution time, initial/dynamic reconfiguration time
+and number of contexts — exactly the three curves of Fig. 3 (the paper
+averages 100 runs per size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.stats import summarize
+from repro.arch.architecture import epicure_architecture
+from repro.errors import ConfigurationError
+from repro.model.application import Application
+from repro.sa.explorer import DesignSpaceExplorer
+
+
+@dataclass(frozen=True)
+class DeviceSweepRow:
+    """Averaged results for one device size."""
+
+    n_clbs: int
+    runs: int
+    execution_ms: float
+    execution_std_ms: float
+    initial_reconfig_ms: float
+    dynamic_reconfig_ms: float
+    num_contexts: float
+    hw_tasks: float
+    feasible_fraction: float
+
+    @property
+    def reconfig_ms(self) -> float:
+        return self.initial_reconfig_ms + self.dynamic_reconfig_ms
+
+    def format_row(self) -> str:
+        return (
+            f"{self.n_clbs:>6} {self.execution_ms:>9.2f} {self.execution_std_ms:>7.2f} "
+            f"{self.initial_reconfig_ms:>9.2f} {self.dynamic_reconfig_ms:>9.2f} "
+            f"{self.num_contexts:>8.2f} {self.hw_tasks:>7.2f} "
+            f"{self.feasible_fraction:>8.2f}"
+        )
+
+
+SWEEP_HEADER = (
+    f"{'NCLB':>6} {'exec(ms)':>9} {'std':>7} {'init_rc':>9} {'dyn_rc':>9} "
+    f"{'ctx':>8} {'hw':>7} {'<=40ms':>8}"
+)
+
+
+def run_device_sweep(
+    application: Application,
+    sizes: Sequence[int],
+    runs: int = 10,
+    iterations: int = 8000,
+    warmup_iterations: int = 1200,
+    deadline_ms: float = 40.0,
+    seed0: int = 1,
+    explorer_factory: Optional[Callable[[int, int], DesignSpaceExplorer]] = None,
+) -> List[DeviceSweepRow]:
+    """Run the Fig. 3 sweep and return one averaged row per size.
+
+    ``explorer_factory(n_clbs, seed)`` may be supplied to customize the
+    optimizer; the default builds the paper's EPICURE platform with the
+    requested capacity.
+    """
+    if runs < 1:
+        raise ConfigurationError("runs must be >= 1")
+    rows: List[DeviceSweepRow] = []
+    for n_clbs in sizes:
+        makespans: List[float] = []
+        initials: List[float] = []
+        dynamics: List[float] = []
+        contexts: List[float] = []
+        hw_counts: List[float] = []
+        met = 0
+        for r in range(runs):
+            seed = seed0 + 1000 * r + n_clbs
+            if explorer_factory is not None:
+                explorer = explorer_factory(n_clbs, seed)
+            else:
+                explorer = DesignSpaceExplorer(
+                    application,
+                    epicure_architecture(n_clbs=n_clbs),
+                    iterations=iterations,
+                    warmup_iterations=warmup_iterations,
+                    seed=seed,
+                    keep_trace=False,
+                )
+            result = explorer.run()
+            ev = result.best_evaluation
+            makespans.append(ev.makespan_ms)
+            initials.append(ev.initial_reconfig_ms)
+            dynamics.append(ev.dynamic_reconfig_ms)
+            contexts.append(float(ev.num_contexts))
+            hw_counts.append(float(ev.hw_tasks))
+            if ev.meets(deadline_ms):
+                met += 1
+        summary = summarize(makespans)
+        rows.append(
+            DeviceSweepRow(
+                n_clbs=n_clbs,
+                runs=runs,
+                execution_ms=summary.mean,
+                execution_std_ms=summary.std,
+                initial_reconfig_ms=sum(initials) / runs,
+                dynamic_reconfig_ms=sum(dynamics) / runs,
+                num_contexts=sum(contexts) / runs,
+                hw_tasks=sum(hw_counts) / runs,
+                feasible_fraction=met / runs,
+            )
+        )
+    return rows
+
+
+def smallest_feasible_device(
+    rows: Sequence[DeviceSweepRow], deadline_ms: float = 40.0
+) -> Optional[int]:
+    """The byproduct the paper highlights: the smallest device whose
+    *average* execution time meets the constraint."""
+    feasible = [row.n_clbs for row in rows if row.execution_ms <= deadline_ms]
+    return min(feasible) if feasible else None

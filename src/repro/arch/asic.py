@@ -1,0 +1,45 @@
+"""Dedicated hardware (ASIC): maximal parallelism, partial order."""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TYPE_CHECKING
+
+from repro.arch.resource import OrderKind, Resource
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapping.solution import Solution
+
+
+class Asic(Resource):
+    """An application-specific circuit dedicated to its assigned tasks.
+
+    Paper section 3.3: "the computations for several tasks could be
+    performed with maximal parallelism on an ASIC dedicated to these
+    computations" — so an ASIC contributes **no** sequentialization
+    edges; only the precedence graph orders its tasks.
+
+    Tasks execute with their selected hardware implementation's time
+    (an ASIC is modelled as hard-wired FPGA logic without the
+    reconfiguration cost).  The monetary cost should reflect NRE, which
+    is why architecture exploration rarely picks ASICs for small gains.
+    """
+
+    @property
+    def order_kind(self) -> OrderKind:
+        return OrderKind.PARTIAL
+
+    def execution_time_ms(self, solution: "Solution", task_index: int) -> float:
+        task = solution.application.task(task_index)
+        if not task.hardware_capable:
+            raise ModelError(
+                f"task {task.name!r} has no hardware implementation; "
+                f"it cannot run on ASIC {self.name!r}"
+            )
+        return task.implementation(solution.implementation_choice(task_index)).time_ms
+
+    def sequentialization_edges(
+        self, solution: "Solution"
+    ) -> List[Tuple[object, object, float]]:
+        """An ASIC imposes no order beyond the precedence graph."""
+        return []

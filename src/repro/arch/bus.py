@@ -1,0 +1,56 @@
+"""Shared communication medium between processor and hardware.
+
+Paper section 3.2: processor and RC communicate through a shared memory
+connected to each by a bus; the transfer time of edge ``e_ij`` is
+estimated from the data size ``q_ij`` and the bus rate ``D``, and the
+communications are "statically evaluated as ordered transactions" — the
+solution fixes a total order of the transfers on the medium.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchitectureError
+
+
+class Bus:
+    """A shared bus with a fixed transfer rate and per-transfer latency.
+
+    Parameters
+    ----------
+    rate_kbytes_per_ms:
+        Sustained throughput ``D``.  The default (50 KB/ms = 50 MB/s)
+        is representative of the AMBA AHB-class interconnect of the
+        paper's ARM922 + Virtex-E platform.
+    latency_ms:
+        Fixed arbitration/setup latency added to every transaction.
+    """
+
+    def __init__(
+        self,
+        name: str = "shared_bus",
+        rate_kbytes_per_ms: float = 50.0,
+        latency_ms: float = 0.0,
+    ) -> None:
+        if not name:
+            raise ArchitectureError("bus name must be non-empty")
+        if rate_kbytes_per_ms <= 0:
+            raise ArchitectureError("bus rate must be > 0")
+        if latency_ms < 0:
+            raise ArchitectureError("bus latency must be >= 0")
+        self.name = name
+        self.rate_kbytes_per_ms = rate_kbytes_per_ms
+        self.latency_ms = latency_ms
+
+    def transfer_time_ms(self, data_kbytes: float) -> float:
+        """Time ``t_ij`` to move ``q_ij`` kilobytes over the bus."""
+        if data_kbytes < 0:
+            raise ArchitectureError("data_kbytes must be >= 0")
+        if data_kbytes == 0:
+            return 0.0
+        return self.latency_ms + data_kbytes / self.rate_kbytes_per_ms
+
+    def __repr__(self) -> str:
+        return (
+            f"Bus({self.name!r}, rate={self.rate_kbytes_per_ms} KB/ms, "
+            f"latency={self.latency_ms} ms)"
+        )

@@ -1,0 +1,51 @@
+"""Programmable processor: sequential execution, total order."""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TYPE_CHECKING
+
+from repro.arch.resource import OrderKind, Resource
+from repro.errors import ArchitectureError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapping.solution import Solution
+
+
+class Processor(Resource):
+    """A programmable processor (e.g. the paper's ARM922).
+
+    At the coarse granularity considered, software execution is purely
+    sequential, so the processor imposes a **total order**: zero-weight
+    sequentialization edges (the paper's ``Esw``) chain consecutive
+    tasks of the solution's software schedule.
+
+    ``speed_factor`` scales task software times; 1.0 reproduces the
+    reference ARM922 estimates, other values model faster/slower cores
+    during architecture exploration (moves m3/m4).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        speed_factor: float = 1.0,
+        monetary_cost: float = 1.0,
+    ) -> None:
+        super().__init__(name, monetary_cost)
+        if speed_factor <= 0:
+            raise ArchitectureError(f"processor {name!r}: speed_factor must be > 0")
+        self.speed_factor = speed_factor
+
+    @property
+    def order_kind(self) -> OrderKind:
+        return OrderKind.TOTAL
+
+    def execution_time_ms(self, solution: "Solution", task_index: int) -> float:
+        task = solution.application.task(task_index)
+        return task.sw_time_ms / self.speed_factor
+
+    def sequentialization_edges(
+        self, solution: "Solution"
+    ) -> List[Tuple[object, object, float]]:
+        """Zero-weight edges between consecutive software tasks (Esw)."""
+        order = solution.software_order(self.name)
+        return [(a, b, 0.0) for a, b in zip(order, order[1:])]

@@ -1,0 +1,79 @@
+"""Abstract processing resource.
+
+Paper section 3.3: "Class Processing Element belongs to the Resource
+class of the system, which is abstract and polymorphic.  When several
+tasks are assigned to the same resource, their execution order on that
+resource depends on the resource type."
+
+A resource here is a *descriptor plus behavior*: it knows its kind of
+execution order and how to emit the sequentialization edges that impose
+that order on a search graph.  Assignment state itself lives in
+:class:`repro.mapping.solution.Solution`, so resources can be shared by
+many candidate solutions without copying.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import ArchitectureError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapping.solution import Solution
+
+
+class OrderKind(enum.Enum):
+    """The kind of execution order a resource imposes on its tasks."""
+
+    #: Sequential execution: one total order (programmable processors).
+    TOTAL = "total"
+    #: Maximal parallelism: the precedence graph's order only (ASICs).
+    PARTIAL = "partial"
+    #: Globally total over contexts, locally partial within each (DRLCs).
+    GTLP = "gtlp"
+
+
+class Resource(ABC):
+    """A processing element of the target architecture."""
+
+    def __init__(self, name: str, monetary_cost: float = 0.0) -> None:
+        if not name:
+            raise ArchitectureError("resource name must be non-empty")
+        if monetary_cost < 0:
+            raise ArchitectureError(f"resource {name!r}: cost must be >= 0")
+        self.name = name
+        #: Relative cost used by the architecture-exploration objective
+        #: (moves m3/m4); ignored when the architecture is fixed.
+        self.monetary_cost = monetary_cost
+
+    @property
+    @abstractmethod
+    def order_kind(self) -> OrderKind:
+        """Which execution order this resource imposes."""
+
+    @abstractmethod
+    def execution_time_ms(self, solution: "Solution", task_index: int) -> float:
+        """Execution time of ``task_index`` under ``solution`` on this
+        resource (implementation-choice dependent for hardware)."""
+
+    @abstractmethod
+    def sequentialization_edges(
+        self, solution: "Solution"
+    ) -> List[Tuple[object, object, float]]:
+        """Weighted edges this resource adds to the search graph.
+
+        This is the library's concrete counterpart of the paper's
+        abstract ``PE.schedule(Vs, Vd)``: the returned ``(src, dst,
+        weight)`` triples impose the resource's execution order (``Esw``
+        for processors, ``Ehw`` context edges for DRLCs; nothing for
+        ASICs).  Node identifiers are task indices or virtual node
+        tuples understood by :mod:`repro.mapping.search_graph`.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    # Resources are identified by name within an architecture; equality
+    # follows identity so distinct instances never alias accidentally.

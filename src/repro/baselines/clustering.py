@@ -1,0 +1,75 @@
+"""Deterministic temporal partitioning by capacity-driven clustering.
+
+Reimplements the second stage of Ben Chehida & Auguin's flow [6]: given
+a spatial partition (which tasks go to hardware), pack the hardware
+tasks into run-time contexts.  Tasks are visited in a topological order
+of the precedence graph (so the context sequence is automatically
+consistent with precedence) and appended to the current context until
+the device capacity would overflow, at which point a new context opens.
+
+This is exactly the "deterministic ... single temporal partitioning per
+spatial partitioning" behaviour the paper contrasts its concurrent
+exploration against (section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.arch.reconfigurable import ReconfigurableCircuit
+from repro.errors import CapacityError
+from repro.model.application import Application
+
+
+def cluster_into_contexts(
+    application: Application,
+    rc: ReconfigurableCircuit,
+    hw_tasks: Sequence[int],
+    clbs_of: Dict[int, int],
+) -> List[List[int]]:
+    """Greedy first-fit packing of ``hw_tasks`` into ordered contexts.
+
+    ``clbs_of`` maps each hardware task to the area of its selected
+    implementation.  Raises :class:`CapacityError` when a single task
+    exceeds the device.
+    """
+    hw_set = set(hw_tasks)
+    contexts: List[List[int]] = []
+    used = 0
+    for task in _stable_topological_order(application):
+        if task not in hw_set:
+            continue
+        area = clbs_of[task]
+        if area > rc.n_clbs:
+            raise CapacityError(
+                f"task {task} needs {area} CLBs > device capacity {rc.n_clbs}"
+            )
+        if not contexts or used + area > rc.n_clbs:
+            contexts.append([task])
+            used = area
+        else:
+            contexts[-1].append(task)
+            used += area
+    return contexts
+
+
+def _stable_topological_order(application: Application) -> List[int]:
+    """Topological order with smallest-index-first tie-breaking, so the
+    baseline's deterministic flow is reproducible and readable."""
+    import heapq
+
+    indeg = {
+        t: len(application.predecessors(t))
+        for t in application.task_indices()
+    }
+    heap = [t for t, d in indeg.items() if d == 0]
+    heapq.heapify(heap)
+    order: List[int] = []
+    while heap:
+        task = heapq.heappop(heap)
+        order.append(task)
+        for succ in application.successors(task):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                heapq.heappush(heap, succ)
+    return order

@@ -1,0 +1,72 @@
+"""Greedy hill climbing: the zero-temperature ablation of the annealer.
+
+Shares the annealer's move space but accepts only strict improvements.
+Included so the schedule ablation (``bench_ablation_schedules.py``) can
+show what the temperature actually buys.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, InfeasibleMoveError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import Solution
+from repro.sa.moves import MoveGenerator
+
+
+@dataclass
+class HillClimbResult:
+    best_solution: Solution
+    best_cost: float
+    iterations_run: int
+    runtime_s: float
+    history: List[float] = field(default_factory=list)
+
+
+class HillClimber:
+    """First-improvement stochastic hill climbing."""
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        move_generator: MoveGenerator,
+        iterations: int = 5000,
+        seed: Optional[int] = None,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        self.evaluator = evaluator
+        self.move_generator = move_generator
+        self.iterations = iterations
+        self.seed = seed
+
+    def run(self, initial_solution: Solution) -> HillClimbResult:
+        rng = random.Random(self.seed)
+        solution = initial_solution
+        current_cost = self.evaluator.makespan_ms(solution)
+        history = [current_cost]
+        started = time.perf_counter()
+        for _ in range(self.iterations):
+            try:
+                move = self.move_generator.propose(solution, rng)
+                move.apply(solution)
+            except InfeasibleMoveError:
+                history.append(current_cost)
+                continue
+            cost = self.evaluator.makespan_ms(solution)
+            if cost < current_cost:
+                current_cost = cost
+            else:
+                move.undo(solution)
+            history.append(current_cost)
+        return HillClimbResult(
+            best_solution=solution,
+            best_cost=current_cost,
+            iterations_run=self.iterations,
+            runtime_s=time.perf_counter() - started,
+            history=history,
+        )

@@ -1,0 +1,106 @@
+"""Critical-path list scheduling and partition decoding.
+
+The third stage of the GA baseline flow [6]: once the spatial partition
+and the contexts are fixed, order the software tasks on the processor by
+a classic bottom-level (critical path) priority list scheduler.  Also
+provides :func:`decode_partition`, the bridge from a raw HW/SW partition
+(what a GA chromosome encodes) to a full :class:`Solution` evaluable by
+the library's evaluator — so the baseline and the annealer are scored by
+the *same* cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.arch.architecture import Architecture
+from repro.baselines.clustering import cluster_into_contexts
+from repro.errors import MappingError
+from repro.graph.longest_path import bottom_levels
+from repro.mapping.solution import Solution
+from repro.model.application import Application
+
+
+def list_schedule_software(
+    application: Application,
+    sw_tasks: Iterable[int],
+    node_time: Optional[Dict[int, float]] = None,
+) -> List[int]:
+    """Priority-list order of ``sw_tasks``: ready tasks first, ties by
+    descending bottom level (longest remaining path), then by index.
+
+    The returned order is a topological restriction, hence always
+    realizable as a processor total order.
+    """
+    sw_set = set(sw_tasks)
+    times = node_time or {t.index: t.sw_time_ms for t in application.tasks()}
+    levels = bottom_levels(
+        application.dag, lambda n: times.get(n, 0.0)
+    )
+    indeg = {
+        t: len(application.predecessors(t))
+        for t in application.task_indices()
+    }
+    ready = [t for t, d in indeg.items() if d == 0]
+    order: List[int] = []
+    while ready:
+        ready.sort(key=lambda t: (-levels[t], t))
+        task = ready.pop(0)
+        if task in sw_set:
+            order.append(task)
+        for succ in application.successors(task):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(sw_set):
+        raise MappingError("software set contains unknown or cyclic tasks")
+    return order
+
+
+def decode_partition(
+    application: Application,
+    architecture: Architecture,
+    hw_tasks: Sequence[int],
+    impl_choice: Optional[Dict[int, int]] = None,
+) -> Solution:
+    """Build a full solution from a spatial partition.
+
+    Hardware tasks are clustered into contexts (first RC of the
+    architecture) and software tasks list-scheduled on the first
+    processor — the deterministic realization stage of the GA baseline.
+    """
+    impl_choice = impl_choice or {}
+    processors = architecture.processors()
+    rcs = architecture.reconfigurable_circuits()
+    if not processors:
+        raise MappingError("architecture has no processor")
+    if hw_tasks and not rcs:
+        raise MappingError("hardware tasks requested but no DRLC available")
+    solution = Solution(application, architecture)
+    for task_index, choice in impl_choice.items():
+        solution.set_implementation_choice(task_index, choice)
+
+    hw_list = list(dict.fromkeys(hw_tasks))
+    for t in hw_list:
+        if not application.task(t).hardware_capable:
+            raise MappingError(f"task {t} has no hardware implementation")
+    if hw_list:
+        rc = rcs[0]
+        clbs_of = {t: solution.task_clbs(t) for t in hw_list}
+        contexts = cluster_into_contexts(application, rc, hw_list, clbs_of)
+        for k, members in enumerate(contexts):
+            for i, t in enumerate(members):
+                if i == 0:
+                    solution.spawn_context(t, rc.name, k)
+                else:
+                    solution.assign_to_context(t, rc.name, k)
+
+    sw_tasks = [
+        t for t in application.task_indices() if t not in set(hw_list)
+    ]
+    order = list_schedule_software(application, sw_tasks)
+    proc = processors[0]
+    for t in order:
+        solution.assign_to_processor(t, proc.name)
+    solution.validate()
+    return solution

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``explore``   run the annealing explorer on an application/architecture
+              (built-in benchmark by default, or JSON files)
+``sweep``     Fig. 3-style device-size sweep
+``compare``   adaptive SA vs the GA baseline
+``info``      describe an application (tasks, structure, solution space)
+
+Every command accepts ``--seed`` for reproducibility and prints plain
+text; machine-readable output goes through ``--save`` (JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.combinatorics import solution_space_report
+from repro.analysis.plot import plot_sweep, plot_trace
+from repro.arch.architecture import epicure_architecture
+from repro.experiments.comparison import run_comparison
+from repro.experiments.fig3 import format_fig3_table
+from repro.analysis.sweep import run_device_sweep
+from repro.io import (
+    dump_solution,
+    load_application,
+    load_architecture,
+)
+from repro.mapping.schedule import extract_schedule
+from repro.mapping.gantt import render_gantt
+from repro.model.motion import motion_detection_application
+from repro.sa.explorer import DesignSpaceExplorer
+
+
+def _load_app(path: Optional[str]):
+    if path is None:
+        return motion_detection_application()
+    with open(path) as handle:
+        return load_application(handle.read())
+
+
+def _load_arch(path: Optional[str], n_clbs: int):
+    if path is None:
+        return epicure_architecture(n_clbs=n_clbs)
+    with open(path) as handle:
+        return load_architecture(handle.read())
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    application = _load_app(args.application)
+    architecture = _load_arch(args.architecture, args.clbs)
+    explorer = DesignSpaceExplorer(
+        application,
+        architecture,
+        iterations=args.iterations,
+        warmup_iterations=args.warmup,
+        seed=args.seed,
+        schedule_name=args.schedule,
+    )
+    result = explorer.run()
+    ev = result.best_evaluation
+    print(f"best mapping: {ev.makespan_ms:.2f} ms, {ev.num_contexts} contexts, "
+          f"{ev.hw_tasks} hw / {ev.sw_tasks} sw tasks "
+          f"({result.runtime_s:.1f} s)")
+    print(f"reconfiguration: {ev.initial_reconfig_ms:.2f} + "
+          f"{ev.dynamic_reconfig_ms:.2f} ms; bus: {ev.comm_ms:.2f} ms")
+    if args.plot and result.trace:
+        print()
+        print(plot_trace(result.trace))
+    if args.gantt:
+        schedule = extract_schedule(
+            result.best_solution, explorer.evaluator.realize(result.best_solution)
+        )
+        print()
+        print(render_gantt(schedule))
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(dump_solution(result.best_solution))
+        print(f"solution saved to {args.save}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    application = _load_app(args.application)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = run_device_sweep(
+        application,
+        sizes=sizes,
+        runs=args.runs,
+        iterations=args.iterations,
+        warmup_iterations=args.warmup,
+        seed0=args.seed if args.seed is not None else 1,
+    )
+    print(format_fig3_table(rows))
+    if args.plot:
+        print()
+        print(plot_sweep(rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    result = run_comparison(
+        n_clbs=args.clbs,
+        sa_iterations=args.iterations,
+        sa_warmup=args.warmup,
+        ga_population=args.population,
+        ga_generations=args.generations,
+        seed=args.seed if args.seed is not None else 11,
+    )
+    print(result.format_table())
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    application = _load_app(args.application)
+    print(f"application: {application.name}")
+    print(f"  tasks: {len(application)} "
+          f"({len(application.hardware_capable_tasks())} hardware-capable)")
+    print(f"  dependencies: {application.dag.num_edges()}")
+    print(f"  all-software time: {application.total_sw_time_ms():.2f} ms")
+    sources = [application.task(t).name for t in application.sources()]
+    sinks = [application.task(t).name for t in application.sinks()]
+    print(f"  sources: {sources}")
+    print(f"  sinks:   {sinks}")
+    if len(application) <= 40:
+        report = solution_space_report(application)
+        print()
+        print(report.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Design-space exploration for dynamically "
+                    "reconfigurable architectures (DATE'05 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, iterations=8000):
+        p.add_argument("--application", help="application JSON (default: motion detection)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--iterations", type=int, default=iterations)
+        p.add_argument("--warmup", type=int, default=1200)
+
+    p = sub.add_parser("explore", help="run the annealing explorer")
+    common(p)
+    p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
+    p.add_argument("--clbs", type=int, default=2000, help="device size for the default architecture")
+    p.add_argument("--schedule", default="lam",
+                   choices=["lam", "modified_lam", "geometric"])
+    p.add_argument("--plot", action="store_true", help="ASCII Fig.2-style trace plot")
+    p.add_argument("--gantt", action="store_true", help="ASCII Gantt chart")
+    p.add_argument("--save", help="write the best solution JSON here")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("sweep", help="device-size sweep (Fig. 3)")
+    common(p)
+    p.add_argument("--sizes", default="200,400,800,2000,5000",
+                   help="comma-separated CLB counts")
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--plot", action="store_true")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("compare", help="SA vs GA baseline")
+    common(p)
+    p.add_argument("--clbs", type=int, default=2000)
+    p.add_argument("--population", type=int, default=300)
+    p.add_argument("--generations", type=int, default=40)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("info", help="describe an application")
+    p.add_argument("--application")
+    p.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a task graph (duplicate node, bad edge...)."""
+
+
+class CycleError(GraphError):
+    """An operation would create (or encountered) a cycle in a DAG."""
+
+    def __init__(self, message: str = "operation would create a cycle", cycle=None):
+        super().__init__(message)
+        #: Optional list of node identifiers forming the offending cycle.
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class ModelError(ReproError):
+    """Invalid application-model data (negative time, missing impl...)."""
+
+
+class ArchitectureError(ReproError):
+    """Invalid architecture description or resource operation."""
+
+
+class CapacityError(ArchitectureError):
+    """A task does not fit the capacity of the targeted resource/context."""
+
+
+class MappingError(ReproError):
+    """Invalid solution state (unassigned task, inconsistent order...)."""
+
+
+class MoveError(ReproError):
+    """A simulated-annealing move could not be generated or applied."""
+
+
+class InfeasibleMoveError(MoveError):
+    """The selected move is infeasible (e.g. it would create a cycle).
+
+    Infeasible moves are a *normal* event during annealing; the engine
+    counts them and draws another move.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration for an algorithm."""

@@ -1,0 +1,205 @@
+"""Ablations A1/A3 and the bus-policy study (DESIGN.md section 4).
+
+* **Schedule ablation** — Lam adaptive vs modified-Lam vs geometric vs
+  hill climbing vs random search at an equal move budget: what the
+  adaptive schedule buys (the paper's central claim is that it needs no
+  tuning yet matches or beats tuned alternatives).
+* **Implementation-choice ablation** — with the paper's 5-6 Pareto
+  variants per function versus frozen smallest/fastest variants: what
+  the area/time trade-off exploration buys.
+* **Bus-policy ablation** — serialized transactions (the paper's model)
+  versus plain edge delays: how much bus exclusiveness matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.arch.architecture import epicure_architecture
+from repro.baselines.hill_climber import HillClimber
+from repro.baselines.random_search import RandomSearch
+from repro.errors import ConfigurationError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import random_initial_solution
+from repro.model.motion import motion_detection_application
+from repro.sa.explorer import DesignSpaceExplorer
+from repro.sa.moves import MoveGenerator
+
+import random
+
+
+@dataclass(frozen=True)
+class ScheduleAblationRow:
+    method: str
+    makespan: Summary
+    mean_runtime_s: float
+
+    def format_row(self) -> str:
+        return (
+            f"{self.method:<16} {self.makespan.mean:>9.2f} {self.makespan.std:>7.2f} "
+            f"{self.makespan.minimum:>8.2f} {self.makespan.maximum:>8.2f} "
+            f"{self.mean_runtime_s:>9.2f}"
+        )
+
+
+SCHEDULE_ABLATION_HEADER = (
+    f"{'method':<16} {'mean(ms)':>9} {'std':>7} {'min':>8} {'max':>8} {'time(s)':>9}"
+)
+
+
+def run_schedule_ablation(
+    n_clbs: int = 2000,
+    iterations: int = 6000,
+    warmup: int = 1000,
+    runs: int = 5,
+    seed0: int = 42,
+) -> List[ScheduleAblationRow]:
+    """A1: cooling schedules and no-temperature baselines, equal budget."""
+    if runs < 1:
+        raise ConfigurationError("runs must be >= 1")
+    application = motion_detection_application()
+    rows: List[ScheduleAblationRow] = []
+
+    for name in ("lam", "modified_lam", "geometric"):
+        costs: List[float] = []
+        runtimes: List[float] = []
+        for r in range(runs):
+            explorer = DesignSpaceExplorer(
+                application,
+                epicure_architecture(n_clbs=n_clbs),
+                iterations=iterations,
+                warmup_iterations=warmup,
+                seed=seed0 + r,
+                schedule_name=name,
+                keep_trace=False,
+            )
+            result = explorer.run()
+            costs.append(result.best_evaluation.makespan_ms)
+            runtimes.append(result.runtime_s)
+        rows.append(
+            ScheduleAblationRow(
+                method=name,
+                makespan=summarize(costs),
+                mean_runtime_s=sum(runtimes) / runs,
+            )
+        )
+
+    # Hill climbing: same move space, zero temperature.
+    costs, runtimes = [], []
+    for r in range(runs):
+        architecture = epicure_architecture(n_clbs=n_clbs)
+        evaluator = Evaluator(application, architecture)
+        generator = MoveGenerator(application)
+        climber = HillClimber(
+            evaluator, generator, iterations=iterations, seed=seed0 + r
+        )
+        rng = random.Random(seed0 + r)
+        initial = random_initial_solution(application, architecture, rng)
+        result = climber.run(initial)
+        costs.append(result.best_cost)
+        runtimes.append(result.runtime_s)
+    rows.append(
+        ScheduleAblationRow(
+            method="hill_climb",
+            makespan=summarize(costs),
+            mean_runtime_s=sum(runtimes) / runs,
+        )
+    )
+
+    # Random restart: an evaluation budget comparable to one SA run.
+    costs, runtimes = [], []
+    for r in range(runs):
+        architecture = epicure_architecture(n_clbs=n_clbs)
+        evaluator = Evaluator(application, architecture)
+        search = RandomSearch(
+            application, architecture, evaluator,
+            samples=max(iterations // 10, 1), seed=seed0 + r,
+        )
+        result = search.run()
+        costs.append(result.best_cost)
+        runtimes.append(result.runtime_s)
+    rows.append(
+        ScheduleAblationRow(
+            method="random_search",
+            makespan=summarize(costs),
+            mean_runtime_s=sum(runtimes) / runs,
+        )
+    )
+    return rows
+
+
+def run_impl_ablation(
+    n_clbs: int = 2000,
+    iterations: int = 6000,
+    warmup: int = 1000,
+    runs: int = 5,
+    seed0: int = 17,
+) -> Dict[str, Summary]:
+    """A3: multi-implementation exploration on/off.
+
+    Returns makespan summaries for three settings: free implementation
+    choice (p_impl > 0, the paper's mode), frozen smallest variants, and
+    frozen fastest variants.
+    """
+    application = motion_detection_application()
+    results: Dict[str, Summary] = {}
+
+    def run_mode(mode: str) -> Summary:
+        costs: List[float] = []
+        for r in range(runs):
+            architecture = epicure_architecture(n_clbs=n_clbs)
+            p_impl = 0.15 if mode == "free" else 0.0
+            explorer = DesignSpaceExplorer(
+                application,
+                architecture,
+                iterations=iterations,
+                warmup_iterations=warmup,
+                seed=seed0 + r,
+                p_impl=p_impl,
+                keep_trace=False,
+            )
+            initial = explorer.initial_solution()
+            if mode != "free":
+                for task in application.hardware_capable_tasks():
+                    choice = (
+                        0 if mode == "smallest"
+                        else task.num_implementations - 1
+                    )
+                    initial.set_implementation_choice(task.index, choice)
+            result = explorer.run(initial)
+            costs.append(result.best_evaluation.makespan_ms)
+        return summarize(costs)
+
+    for mode in ("free", "smallest", "fastest"):
+        results[mode] = run_mode(mode)
+    return results
+
+
+def run_bus_ablation(
+    n_clbs: int = 2000,
+    iterations: int = 6000,
+    warmup: int = 1000,
+    runs: int = 5,
+    seed0: int = 23,
+) -> Dict[str, Summary]:
+    """Bus policy: serialized transactions vs plain edge delays."""
+    application = motion_detection_application()
+    results: Dict[str, Summary] = {}
+    for policy in ("ordered", "edge"):
+        costs: List[float] = []
+        for r in range(runs):
+            explorer = DesignSpaceExplorer(
+                application,
+                epicure_architecture(n_clbs=n_clbs),
+                iterations=iterations,
+                warmup_iterations=warmup,
+                seed=seed0 + r,
+                bus_policy=policy,
+                keep_trace=False,
+            )
+            result = explorer.run()
+            costs.append(result.best_evaluation.makespan_ms)
+        results[policy] = summarize(costs)
+    return results

@@ -1,0 +1,121 @@
+"""Cost-performance Pareto front via repeated architecture exploration.
+
+The paper's introduction frames the tool as finding "a solution that
+minimizes system cost while meeting the performance constraints".
+Sweeping the deadline and running the architecture-exploration mode at
+each point traces the *cost-performance front* of the design space:
+how much platform one must buy for a given real-time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.arch.architecture import Architecture
+from repro.arch.asic import Asic
+from repro.arch.bus import Bus
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import ReconfigurableCircuit
+from repro.errors import ConfigurationError
+from repro.mapping.cost import SystemCost
+from repro.model.application import Application
+from repro.model.motion import motion_detection_application
+from repro.sa.explorer import DesignSpaceExplorer
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """Best design found for one deadline."""
+
+    deadline_ms: float
+    makespan_ms: float
+    monetary_cost: float
+    resources: Sequence[str]
+    meets_deadline: bool
+
+    def format_row(self) -> str:
+        mark = "yes" if self.meets_deadline else "NO"
+        return (
+            f"{self.deadline_ms:>10.1f} {self.makespan_ms:>10.2f} "
+            f"{self.monetary_cost:>6.1f} {mark:>6}  {', '.join(self.resources)}"
+        )
+
+
+PARETO_HEADER = (
+    f"{'deadline':>10} {'exec(ms)':>10} {'cost':>6} {'meets':>6}  resources"
+)
+
+
+def default_catalog():
+    return [
+        lambda name: Processor(name, speed_factor=1.0, monetary_cost=1.0),
+        lambda name: ReconfigurableCircuit(
+            name, n_clbs=1000, reconfig_ms_per_clb=0.0225, monetary_cost=2.0
+        ),
+        lambda name: Asic(name, monetary_cost=4.0),
+    ]
+
+
+def _seed_platform() -> Architecture:
+    arch = Architecture("seed", bus=Bus(rate_kbytes_per_ms=50.0))
+    arch.add_resource(Processor("arm922", monetary_cost=1.0))
+    arch.add_resource(
+        ReconfigurableCircuit(
+            "virtex", n_clbs=1000, reconfig_ms_per_clb=0.0225,
+            monetary_cost=2.0,
+        )
+    )
+    return arch
+
+
+def run_pareto_front(
+    deadlines_ms: Sequence[float] = (80.0, 60.0, 40.0, 30.0),
+    application: Optional[Application] = None,
+    iterations: int = 8000,
+    warmup: int = 1200,
+    seed: int = 19,
+    platform_factory: Optional[Callable[[], Architecture]] = None,
+) -> List[ParetoPoint]:
+    """Run architecture exploration for each deadline; returns one point
+    per deadline (tighter deadlines should cost at least as much)."""
+    if not deadlines_ms:
+        raise ConfigurationError("need at least one deadline")
+    app = application if application is not None else motion_detection_application()
+    make_platform = platform_factory or _seed_platform
+    points: List[ParetoPoint] = []
+    for deadline in deadlines_ms:
+        explorer = DesignSpaceExplorer(
+            app,
+            make_platform(),
+            iterations=iterations,
+            warmup_iterations=warmup,
+            seed=seed,
+            p_zero=0.05,
+            catalog=default_catalog(),
+            cost_function=SystemCost(deadline_ms=deadline, penalty_per_ms=50.0),
+            keep_trace=False,
+        )
+        result = explorer.run()
+        arch = result.best_solution.architecture
+        ev = result.best_evaluation
+        points.append(
+            ParetoPoint(
+                deadline_ms=deadline,
+                makespan_ms=ev.makespan_ms,
+                monetary_cost=arch.total_monetary_cost(),
+                resources=tuple(
+                    f"{type(r).__name__[0]}:{r.name}" for r in arch.resources()
+                ),
+                meets_deadline=ev.makespan_ms <= deadline + 1e-9,
+            )
+        )
+    return points
+
+
+def format_pareto_table(points: Sequence[ParetoPoint]) -> str:
+    lines = ["Cost-performance front (architecture exploration per deadline)"]
+    lines.append(PARETO_HEADER)
+    for point in points:
+        lines.append(point.format_row())
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""The designer's quality knob (paper abstract & section 4.1).
+
+"[The tool] lets the designer select the quality of the optimization
+(hence its computing time) and finds accordingly a solution with
+close-to-minimal cost."  The knob is the Lam schedule's ``lambda_rate``:
+the number of iterations needed to traverse the same inverse-temperature
+range scales as ``1/lambda``, so choosing the rate *is* choosing the
+computing time.  The sweep sizes each run's budget accordingly
+(``warmup + budget_constant / lambda``) and reports the quality/time
+trade the designer gets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.stats import summarize, Summary
+from repro.arch.architecture import epicure_architecture
+from repro.errors import ConfigurationError
+from repro.model.motion import motion_detection_application
+from repro.sa.explorer import DesignSpaceExplorer
+
+
+@dataclass(frozen=True)
+class QualityKnobRow:
+    lambda_rate: float
+    makespan: Summary
+    mean_iterations: float
+    mean_runtime_s: float
+
+    def format_row(self) -> str:
+        return (
+            f"{self.lambda_rate:>8.4f} {self.makespan.mean:>9.2f} "
+            f"{self.makespan.std:>7.2f} {self.mean_iterations:>11.0f} "
+            f"{self.mean_runtime_s:>9.2f}"
+        )
+
+
+QUALITY_HEADER = (
+    f"{'lambda':>8} {'exec(ms)':>9} {'std':>7} {'iterations':>11} {'time(s)':>9}"
+)
+
+
+def run_quality_knob(
+    lambda_rates: Sequence[float] = (0.4, 0.1, 0.025),
+    n_clbs: int = 2000,
+    budget_constant: float = 700.0,
+    warmup: int = 1200,
+    runs: int = 3,
+    seed0: int = 51,
+) -> List[QualityKnobRow]:
+    """Sweep the cooling-speed knob; budgets scale as 1/lambda."""
+    if not lambda_rates:
+        raise ConfigurationError("need at least one lambda rate")
+    if runs < 1:
+        raise ConfigurationError("runs must be >= 1")
+    application = motion_detection_application()
+    rows: List[QualityKnobRow] = []
+    for rate in lambda_rates:
+        iterations = warmup + round(budget_constant / rate)
+        costs: List[float] = []
+        iterations_run: List[float] = []
+        runtimes: List[float] = []
+        for r in range(runs):
+            explorer = DesignSpaceExplorer(
+                application,
+                epicure_architecture(n_clbs=n_clbs),
+                iterations=iterations,
+                warmup_iterations=warmup,
+                seed=seed0 + r,
+                schedule_kwargs={"lambda_rate": rate},
+                keep_trace=False,
+            )
+            result = explorer.run()
+            costs.append(result.best_evaluation.makespan_ms)
+            iterations_run.append(float(result.annealing.iterations_run))
+            runtimes.append(result.runtime_s)
+        rows.append(
+            QualityKnobRow(
+                lambda_rate=rate,
+                makespan=summarize(costs),
+                mean_iterations=sum(iterations_run) / runs,
+                mean_runtime_s=sum(runtimes) / runs,
+            )
+        )
+    return rows
+
+
+def format_quality_table(rows: Sequence[QualityKnobRow]) -> str:
+    lines = ["Quality/computing-time knob (Lam lambda_rate sweep)"]
+    lines.append(QUALITY_HEADER)
+    for row in rows:
+        lines.append(row.format_row())
+    return "\n".join(lines)

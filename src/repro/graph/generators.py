@@ -1,0 +1,209 @@
+"""Random and structured DAG generators for tests and benchmarks.
+
+All generators take an explicit :class:`random.Random` (or a seed) so
+every experiment in the repository is reproducible.  Node identifiers
+are consecutive integers starting at 0 and every generator returns a
+:class:`~repro.graph.dag.Dag` whose edges carry zero weight (callers
+attach application semantics separately).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.graph.dag import Dag
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def chain(length: int) -> Dag:
+    """A simple path ``0 -> 1 -> ... -> length-1``."""
+    if length < 1:
+        raise ConfigurationError("chain length must be >= 1")
+    dag = Dag()
+    for node in range(length):
+        dag.add_node(node)
+    for node in range(length - 1):
+        dag.add_edge(node, node + 1)
+    return dag
+
+
+def fork_join(width: int) -> Dag:
+    """A source, ``width`` parallel nodes, and a sink (diamond for 2)."""
+    if width < 1:
+        raise ConfigurationError("fork_join width must be >= 1")
+    dag = Dag()
+    source, sink = 0, width + 1
+    dag.add_node(source)
+    dag.add_node(sink)
+    for k in range(1, width + 1):
+        dag.add_edge(source, k)
+        dag.add_edge(k, sink)
+    return dag
+
+
+def layered(
+    num_layers: int,
+    width: int,
+    edge_probability: float = 0.5,
+    seed: RandomLike = None,
+) -> Dag:
+    """Layer-by-layer random DAG, the classic scheduling benchmark shape.
+
+    Every node in layer ``k+1`` gets at least one predecessor in layer
+    ``k`` (so the graph is connected layer to layer) plus extra edges
+    drawn independently with ``edge_probability``.
+    """
+    if num_layers < 1 or width < 1:
+        raise ConfigurationError("layered graphs need num_layers >= 1 and width >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigurationError("edge_probability must lie in [0, 1]")
+    rng = _rng(seed)
+    dag = Dag()
+    layers: List[List[int]] = []
+    next_id = 0
+    for _ in range(num_layers):
+        layer = list(range(next_id, next_id + width))
+        next_id += width
+        for node in layer:
+            dag.add_node(node)
+        layers.append(layer)
+    for prev, cur in zip(layers, layers[1:]):
+        for node in cur:
+            anchor = rng.choice(prev)
+            dag.add_edge(anchor, node)
+            for candidate in prev:
+                if candidate != anchor and rng.random() < edge_probability:
+                    dag.add_edge(candidate, node)
+    return dag
+
+
+def random_dag(
+    num_nodes: int,
+    edge_probability: float = 0.2,
+    seed: RandomLike = None,
+) -> Dag:
+    """Erdős–Rényi-style DAG: edges only from lower to higher index."""
+    if num_nodes < 1:
+        raise ConfigurationError("random_dag needs num_nodes >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigurationError("edge_probability must lie in [0, 1]")
+    rng = _rng(seed)
+    dag = Dag()
+    for node in range(num_nodes):
+        dag.add_node(node)
+    for src in range(num_nodes):
+        for dst in range(src + 1, num_nodes):
+            if rng.random() < edge_probability:
+                dag.add_edge(src, dst)
+    return dag
+
+
+def series_parallel(
+    num_nodes: int,
+    series_probability: float = 0.5,
+    seed: RandomLike = None,
+) -> Dag:
+    """Random two-terminal series-parallel DAG with ``num_nodes`` nodes.
+
+    Built top-down: start from a single edge (source, sink) and repeatedly
+    apply series or parallel expansions until the node budget is used.
+    Series-parallel task graphs are the shape for which the paper's
+    linear-extension counting in section 5 has closed forms, so these
+    graphs double as oracles for :mod:`repro.analysis.combinatorics`.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError("series_parallel needs num_nodes >= 2")
+    rng = _rng(seed)
+    dag = Dag()
+    dag.add_node(0)
+    dag.add_node(1)
+    dag.add_edge(0, 1)
+    next_id = 2
+    while next_id < num_nodes:
+        edges = list(dag.edges())
+        src, dst, _ = edges[rng.randrange(len(edges))]
+        node = next_id
+        next_id += 1
+        dag.add_node(node)
+        if rng.random() < series_probability:
+            # Series: subdivide src -> dst into src -> node -> dst.
+            dag.remove_edge(src, dst)
+            dag.add_edge(src, node)
+            dag.add_edge(node, dst)
+        else:
+            # Parallel: add a fresh branch src -> node -> dst.
+            dag.add_edge(src, node)
+            dag.add_edge(node, dst)
+    return dag
+
+
+def tgff_like(
+    num_nodes: int,
+    max_out_degree: int = 3,
+    max_in_degree: int = 2,
+    seed: RandomLike = None,
+) -> Dag:
+    """TGFF-style fan-out/fan-in growth (Dick, Rhodes & Wolf generator).
+
+    Nodes are added one at a time; each new node attaches to 1..
+    ``max_in_degree`` existing nodes whose out-degree still has room,
+    giving the long-and-narrow graphs typical of embedded dataflow.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("tgff_like needs num_nodes >= 1")
+    if max_out_degree < 1 or max_in_degree < 1:
+        raise ConfigurationError("degree bounds must be >= 1")
+    rng = _rng(seed)
+    dag = Dag()
+    dag.add_node(0)
+    for node in range(1, num_nodes):
+        dag.add_node(node)
+        candidates = [
+            n for n in range(node) if dag.out_degree(n) < max_out_degree
+        ]
+        if not candidates:
+            continue
+        fan_in = rng.randint(1, min(max_in_degree, len(candidates)))
+        for parent in rng.sample(candidates, fan_in):
+            dag.add_edge(parent, node)
+    return dag
+
+
+def parallel_chains(chain_lengths: Sequence[int]) -> Dag:
+    """Disjoint chains sharing nothing — the paper's order-counting shape.
+
+    Node ids are assigned chain by chain; the list of per-chain node id
+    lists is stored on the Dag under no attribute, so callers needing the
+    chains should use :func:`parallel_chains_with_ids`.
+    """
+    dag, _ = parallel_chains_with_ids(chain_lengths)
+    return dag
+
+
+def parallel_chains_with_ids(
+    chain_lengths: Sequence[int],
+) -> Tuple[Dag, List[List[int]]]:
+    """Like :func:`parallel_chains` but also returns per-chain node ids."""
+    if not chain_lengths or any(length < 1 for length in chain_lengths):
+        raise ConfigurationError("every chain length must be >= 1")
+    dag = Dag()
+    chains: List[List[int]] = []
+    next_id = 0
+    for length in chain_lengths:
+        ids = list(range(next_id, next_id + length))
+        next_id += length
+        for node in ids:
+            dag.add_node(node)
+        for a, b in zip(ids, ids[1:]):
+            dag.add_edge(a, b)
+        chains.append(ids)
+    return dag, chains

@@ -1,0 +1,244 @@
+"""Max-plus all-pairs longest-distance closure with incremental updates.
+
+Section 4.4 of the paper notes that, because simulated annealing only
+perturbs the search graph locally, the longest path "may in some cases be
+obtained incrementally by means of a Woodbury-type update formula".  In
+the (max, +) semiring the closure matrix ``D`` (``D[u][v]`` = longest
+edge-weight distance from ``u`` to ``v``) plays the role of the matrix
+inverse, and the rank-one Woodbury correction for a new edge ``(a, b)``
+of weight ``w`` reads::
+
+    D'[u][v] = max(D[u][v],  D[u][a] + w + D[b][v])
+
+with the convention ``D[x][x] = 0`` and ``-inf`` for unreachable pairs.
+
+Edge *insertions* and weight *increases* are therefore O(n²).  Weight
+decreases and deletions cannot be downdated in (max, +) (no additive
+inverse), so they mark the closure dirty and the next query triggers a
+full O(n·e) recomputation — matching the paper's "in some cases"
+qualifier.  The annealer exploits this: a rejected move is rolled back
+cheaply by restoring a snapshot instead of downdating.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import CycleError, GraphError
+
+Node = Hashable
+
+#: Additive identity of the (max, +) semiring.
+NEG_INF = -math.inf
+
+
+class MaxPlusClosure:
+    """All-pairs longest distances over a DAG, incrementally updatable."""
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self._index: Dict[Node, int] = {}
+        self._dist: List[List[float]] = []
+        self._edges: Dict[Tuple[Node, Node], float] = {}
+        self._dirty = False
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def add_node(self, node: Node) -> None:
+        if node in self._index:
+            raise GraphError(f"node {node!r} already tracked")
+        slot = len(self._dist)
+        for row in self._dist:
+            row.append(NEG_INF)
+        self._dist.append([NEG_INF] * (slot + 1))
+        self._dist[slot][slot] = 0.0
+        self._index[node] = slot
+
+    def _require(self, node: Node) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} is not tracked") from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, src: Node, dst: Node) -> float:
+        """Longest edge-weight distance, ``-inf`` if unreachable."""
+        if self._dirty:
+            self._recompute()
+        return self._dist[self._require(src)][self._require(dst)]
+
+    def has_path(self, src: Node, dst: Node) -> bool:
+        return self.distance(src, dst) > NEG_INF
+
+    def would_create_cycle(self, src: Node, dst: Node) -> bool:
+        if src == dst:
+            return True
+        return self.has_path(dst, src)
+
+    def longest_path_length(self) -> float:
+        """Maximum finite entry of the closure (0.0 for edgeless graphs)."""
+        if self._dirty:
+            self._recompute()
+        best = 0.0
+        for row in self._dist:
+            for value in row:
+                if value > best:
+                    best = value
+        return best
+
+    @property
+    def is_dirty(self) -> bool:
+        return self._dirty
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def add_edge(self, src: Node, dst: Node, weight: float = 0.0) -> None:
+        """Insert an edge with the O(n²) Woodbury-style max-plus update."""
+        if src == dst:
+            raise GraphError(f"self-loop on {src!r} is not allowed")
+        if (src, dst) in self._edges:
+            raise GraphError(f"edge ({src!r}, {dst!r}) already exists")
+        i, j = self._require(src), self._require(dst)
+        if self._dirty:
+            self._edges[(src, dst)] = weight
+            return
+        dist = self._dist
+        if dist[j][i] > NEG_INF:
+            raise CycleError(f"edge ({src!r}, {dst!r}) would create a cycle")
+        self._edges[(src, dst)] = weight
+        slots = list(self._index.values())
+        row_j = dist[j]
+        for u in slots:
+            via = dist[u][i] + weight
+            if via == NEG_INF:
+                continue
+            row_u = dist[u]
+            for v in slots:
+                candidate = via + row_j[v]
+                if candidate > row_u[v]:
+                    row_u[v] = candidate
+
+    def increase_edge_weight(self, src: Node, dst: Node, weight: float) -> None:
+        """Raise an existing edge's weight (O(n²) incremental)."""
+        old = self._edges.get((src, dst))
+        if old is None:
+            raise GraphError(f"edge ({src!r}, {dst!r}) does not exist")
+        if weight < old:
+            raise GraphError("use set_edge_weight for weight decreases")
+        self._edges[(src, dst)] = weight
+        if self._dirty or weight == old:
+            return
+        i, j = self._require(src), self._require(dst)
+        dist = self._dist
+        slots = list(self._index.values())
+        row_j = dist[j]
+        for u in slots:
+            via = dist[u][i] + weight
+            if via == NEG_INF:
+                continue
+            row_u = dist[u]
+            for v in slots:
+                candidate = via + row_j[v]
+                if candidate > row_u[v]:
+                    row_u[v] = candidate
+
+    def remove_edge(self, src: Node, dst: Node) -> None:
+        """Delete an edge; marks the closure dirty (lazy recompute)."""
+        if (src, dst) not in self._edges:
+            raise GraphError(f"edge ({src!r}, {dst!r}) does not exist")
+        del self._edges[(src, dst)]
+        self._dirty = True
+
+    def set_edge_weight(self, src: Node, dst: Node, weight: float) -> None:
+        """Change an edge weight; decreases mark the closure dirty."""
+        old = self._edges.get((src, dst))
+        if old is None:
+            raise GraphError(f"edge ({src!r}, {dst!r}) does not exist")
+        if weight >= old:
+            self.increase_edge_weight(src, dst, weight)
+        else:
+            self._edges[(src, dst)] = weight
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # recomputation
+    # ------------------------------------------------------------------
+    def _recompute(self) -> None:
+        """Full rebuild: topological DP from every source, O(n·e)."""
+        succ: Dict[Node, List[Tuple[Node, float]]] = {n: [] for n in self._index}
+        indeg: Dict[Node, int] = {n: 0 for n in self._index}
+        for (src, dst), weight in self._edges.items():
+            succ[src].append((dst, weight))
+            indeg[dst] += 1
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: List[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for nxt, _ in succ[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._index):
+            raise CycleError("closure edge set contains a cycle")
+        n = len(self._dist)
+        for i, row in enumerate(self._dist):
+            for j in range(n):
+                row[j] = NEG_INF
+            row[i] = 0.0
+        dist = self._dist
+        positions = {node: pos for pos, node in enumerate(order)}
+        for start in self._index:
+            row = dist[self._index[start]]
+            start_pos = positions[start]
+            for node in order[start_pos:]:
+                base = row[self._index[node]]
+                if base == NEG_INF:
+                    continue
+                for nxt, weight in succ[node]:
+                    candidate = base + weight
+                    k = self._index[nxt]
+                    if candidate > row[k]:
+                        row[k] = candidate
+        self._dirty = False
+
+    @classmethod
+    def from_dag(cls, dag) -> "MaxPlusClosure":
+        closure = cls(dag.nodes())
+        for src, dst, weight in dag.edges():
+            closure.add_edge(src, dst, weight)
+        return closure
+
+    def self_check(self) -> None:
+        """Verify incremental distances against a fresh recomputation."""
+        snapshot = [row[:] for row in self._dist]
+        dirty = self._dirty
+        self._dirty = True
+        self._recompute()
+        if not dirty:
+            for i, row in enumerate(snapshot):
+                for j, value in enumerate(row):
+                    reference = self._dist[i][j]
+                    if value == reference:
+                        continue
+                    # Incremental and batch recomputation may sum edge
+                    # weights in different orders; allow fp slack.
+                    if not math.isclose(
+                        value, reference, rel_tol=1e-9, abs_tol=1e-9
+                    ):
+                        raise GraphError(
+                            f"max-plus closure mismatch at slot ({i}, {j}): "
+                            f"incremental={value} reference={reference}"
+                        )

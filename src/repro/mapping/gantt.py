@@ -1,0 +1,37 @@
+"""ASCII Gantt rendering of schedules (the paper's Fig. 1(c) view)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mapping.schedule import Schedule
+
+
+def render_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render the schedule as a fixed-width ASCII chart.
+
+    Each row is one resource lane; activities appear as ``[label]``
+    blocks positioned proportionally to their start/end times.  Used by
+    the examples; precision is cosmetic (one column ≈ makespan/width).
+    """
+    if not schedule.entries:
+        return "(empty schedule)"
+    makespan = max(schedule.makespan_ms, 1e-9)
+    scale = width / makespan
+    lines: List[str] = [
+        f"makespan = {schedule.makespan_ms:.2f} ms "
+        f"(1 column = {makespan / width:.3f} ms)"
+    ]
+    label_width = max(len(row) for row in schedule.rows()) + 1
+    for row, entries in schedule.by_row().items():
+        lane = [" "] * width
+        for entry in entries:
+            begin = min(width - 1, int(entry.start_ms * scale))
+            end = min(width, max(begin + 1, int(round(entry.end_ms * scale))))
+            block = list("#" * (end - begin))
+            tag = entry.label[: max(0, end - begin - 2)]
+            if tag and len(block) >= len(tag) + 2:
+                block[1 : 1 + len(tag)] = tag
+            lane[begin:end] = block
+        lines.append(f"{row:<{label_width}}|{''.join(lane)}|")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Schedule extraction: from a realized search graph to timed entries.
+
+Reproduces the information of the paper's Fig. 1(c): per-resource rows
+(processor, the DRLC's successive contexts, the communication medium and
+the reconfiguration slots) with start/end times for every activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.arch.reconfigurable import CONFIG_NODE
+from repro.mapping.search_graph import COMM_NODE, SearchGraph
+from repro.mapping.solution import Solution
+
+
+@dataclass(frozen=True, order=True)
+class ScheduleEntry:
+    """One scheduled activity on one row of the Gantt chart."""
+
+    start_ms: float
+    end_ms: float
+    row: str
+    label: str
+    kind: str  # "task" | "comm" | "reconfig"
+
+
+@dataclass
+class Schedule:
+    """A complete timed schedule for a realized solution."""
+
+    entries: List[ScheduleEntry]
+    makespan_ms: float
+
+    def rows(self) -> List[str]:
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.row not in seen:
+                seen.append(entry.row)
+        return seen
+
+    def by_row(self) -> Dict[str, List[ScheduleEntry]]:
+        grouped: Dict[str, List[ScheduleEntry]] = {}
+        for entry in sorted(self.entries):
+            grouped.setdefault(entry.row, []).append(entry)
+        return grouped
+
+    def check_no_overlap(self, row: str) -> bool:
+        """True when activities on ``row`` never overlap in time
+        (must hold for processors and the bus)."""
+        entries = self.by_row().get(row, [])
+        for a, b in zip(entries, entries[1:]):
+            if b.start_ms < a.end_ms - 1e-9:
+                return False
+        return True
+
+
+def extract_schedule(solution: Solution, graph: SearchGraph) -> Schedule:
+    """Compute start times and produce the per-resource schedule."""
+    start = graph.start_times()
+    app = solution.application
+    entries: List[ScheduleEntry] = []
+    makespan = 0.0
+
+    for node, begin in start.items():
+        duration = graph.duration(node)
+        end = begin + duration
+        makespan = max(makespan, end)
+        if isinstance(node, tuple) and node and node[0] == COMM_NODE:
+            _, src, dst = node
+            entries.append(
+                ScheduleEntry(
+                    start_ms=begin,
+                    end_ms=end,
+                    row="bus",
+                    label=f"{app.task(src).name}->{app.task(dst).name}",
+                    kind="comm",
+                )
+            )
+        elif isinstance(node, tuple) and node and node[0] == CONFIG_NODE:
+            _, rc_name = node
+            entries.append(
+                ScheduleEntry(
+                    start_ms=begin,
+                    end_ms=end,
+                    row=f"{rc_name}/reconfig",
+                    label="initial config",
+                    kind="reconfig",
+                )
+            )
+        else:
+            task = app.task(node)
+            where = solution.context_of(node)
+            if where is None:
+                row = solution.resource_name_of(node)
+            else:
+                rc_name, k = where
+                row = f"{rc_name}/ctx{k}"
+            entries.append(
+                ScheduleEntry(
+                    start_ms=begin,
+                    end_ms=end,
+                    row=row,
+                    label=task.name,
+                    kind="task",
+                )
+            )
+
+    # Dynamic reconfiguration slots: between consecutive contexts the
+    # Ehw edge delays the next context by its reconfiguration time.
+    for rc in solution.architecture.reconfigurable_circuits():
+        contexts = solution.contexts(rc.name)
+        for k in range(1, len(contexts)):
+            reconf = rc.reconfiguration_time_ms(solution.context_clbs(rc.name, k))
+            if reconf <= 0:
+                continue
+            initials = solution.context_initial_nodes(rc.name, k)
+            begin = min(start[i] for i in initials) - reconf
+            entries.append(
+                ScheduleEntry(
+                    start_ms=max(0.0, begin),
+                    end_ms=max(0.0, begin) + reconf,
+                    row=f"{rc.name}/reconfig",
+                    label=f"config ctx{k}",
+                    kind="reconfig",
+                )
+            )
+
+    return Schedule(entries=sorted(entries), makespan_ms=makespan)

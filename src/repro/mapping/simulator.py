@@ -1,0 +1,184 @@
+"""Discrete-event execution simulator — an independent timing oracle.
+
+The evaluator scores a solution analytically (longest path of the
+search graph).  This module *executes* the same realization with an
+event-driven simulator in which every exclusive resource (processor,
+bus, the DRLC's context sequence) is a server:
+
+* the processor runs its tasks in the solution's total order, one at a
+  time;
+* the DRLC runs contexts strictly in sequence; a context begins with a
+  partial reconfiguration of ``tR × nCLB(context)`` (the first context's
+  being the "initial configuration") and then executes its member tasks
+  with full precedence parallelism;
+* the bus serializes transfers in the realized transaction order;
+* a task starts when its resource grants it *and* all its inputs have
+  arrived.
+
+For every feasible realization the simulated makespan must equal the
+evaluator's longest path — a strong cross-check exercised by unit tests
+and a hypothesis property test (any disagreement means one of the two
+models is wrong).  The simulator additionally yields per-event logs
+useful for debugging mappings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.arch.reconfigurable import CONFIG_NODE
+from repro.errors import CycleError, MappingError
+from repro.mapping.search_graph import COMM_NODE, SearchGraph
+from repro.mapping.solution import Solution
+
+
+@dataclass(frozen=True, order=True)
+class SimEvent:
+    """One activity execution recorded by the simulator."""
+
+    start_ms: float
+    end_ms: float
+    resource: str
+    label: str
+
+
+@dataclass
+class SimulationResult:
+    makespan_ms: float
+    events: List[SimEvent] = field(default_factory=list)
+
+    def events_on(self, resource: str) -> List[SimEvent]:
+        return sorted(e for e in self.events if e.resource == resource)
+
+    def check_exclusive(self, resource: str) -> bool:
+        """No two activities overlap on an exclusive resource."""
+        events = self.events_on(resource)
+        for a, b in zip(events, events[1:]):
+            if b.start_ms < a.end_ms - 1e-9:
+                return False
+        return True
+
+
+class ExecutionSimulator:
+    """Event-driven execution of a realized solution.
+
+    The simulation is driven by the search graph (so both models see
+    the identical realization: same sequentialization edges, same
+    serialized bus order, same durations).  Rather than re-deriving
+    resource exclusiveness operationally, the simulator performs a
+    causality-faithful forward sweep: an activity starts when all its
+    search-graph predecessors have finished, and resource exclusiveness
+    is *verified* afterwards (the sequentialization edges are what
+    guarantee it — if they did not, the realization would be buggy and
+    the check fails loudly).
+    """
+
+    def __init__(self, solution: Solution, graph: SearchGraph) -> None:
+        self.solution = solution
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def run(self, verify_exclusive: bool = True) -> SimulationResult:
+        """Simulate to completion; raises on cyclic realizations."""
+        graph = self.graph
+        dag = graph.dag
+        indeg = {n: dag.in_degree(n) for n in dag.nodes()}
+        ready_at: Dict[Hashable, float] = {
+            n: 0.0 for n, d in indeg.items() if d == 0
+        }
+        # (time, tiebreak, node) priority queue of start events.
+        counter = itertools.count()
+        queue: List[Tuple[float, int, Hashable]] = [
+            (0.0, next(counter), n) for n in sorted(ready_at, key=str)
+        ]
+        heapq.heapify(queue)
+        finished: Dict[Hashable, float] = {}
+        events: List[SimEvent] = []
+        processed = 0
+
+        while queue:
+            start, _, node = heapq.heappop(queue)
+            duration = graph.duration(node)
+            end = start + duration
+            finished[node] = end
+            processed += 1
+            events.append(self._event(node, start, end))
+            for succ in dag.successors(node):
+                arrival = end + dag.edge_weight(node, succ)
+                ready_at[succ] = max(ready_at.get(succ, 0.0), arrival)
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    heapq.heappush(
+                        queue, (ready_at[succ], next(counter), succ)
+                    )
+        if processed != len(indeg):
+            raise CycleError(
+                "simulation deadlock: realization contains a cycle"
+            )
+
+        makespan = max((e.end_ms for e in events), default=0.0)
+        result = SimulationResult(makespan_ms=makespan, events=events)
+        if verify_exclusive:
+            self._verify_exclusive(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _event(self, node: Hashable, start: float, end: float) -> SimEvent:
+        app = self.solution.application
+        if isinstance(node, tuple) and node and node[0] == COMM_NODE:
+            _, src, dst = node
+            return SimEvent(
+                start, end, self.solution.architecture.bus.name,
+                f"{app.task(src).name}->{app.task(dst).name}",
+            )
+        if isinstance(node, tuple) and node and node[0] == CONFIG_NODE:
+            return SimEvent(start, end, node[1], "initial_config")
+        where = self.solution.context_of(node)
+        resource = (
+            f"{where[0]}/ctx{where[1]}"
+            if where is not None
+            else self.solution.resource_name_of(node)
+        )
+        return SimEvent(start, end, resource, app.task(node).name)
+
+    def _verify_exclusive(self, result: SimulationResult) -> None:
+        """Exclusive servers must never overlap: processors (their Esw
+        chain serializes them), the bus (transaction chain), and the
+        DRLC's successive contexts (Ehw edges)."""
+        arch = self.solution.architecture
+        for proc in arch.processors():
+            if not result.check_exclusive(proc.name):
+                raise MappingError(
+                    f"simulation found overlapping tasks on processor "
+                    f"{proc.name!r}: sequentialization edges are broken"
+                )
+        if not result.check_exclusive(arch.bus.name):
+            raise MappingError(
+                "simulation found overlapping bus transactions"
+            )
+        for rc in arch.reconfigurable_circuits():
+            spans: List[Tuple[float, float]] = []
+            for k in range(len(self.solution.contexts(rc.name))):
+                ctx_events = result.events_on(f"{rc.name}/ctx{k}")
+                if ctx_events:
+                    spans.append(
+                        (
+                            min(e.start_ms for e in ctx_events),
+                            max(e.end_ms for e in ctx_events),
+                        )
+                    )
+            for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+                if s1 < e0 - 1e-9:
+                    raise MappingError(
+                        f"simulation found overlapping contexts on "
+                        f"{rc.name!r}: GTLP order is broken"
+                    )
+
+
+def simulate(solution: Solution, graph: SearchGraph) -> SimulationResult:
+    """Convenience wrapper: simulate a realized solution."""
+    return ExecutionSimulator(solution, graph).run()

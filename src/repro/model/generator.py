@@ -1,0 +1,98 @@
+"""Random application generator for stress tests and scaling studies.
+
+Builds applications with TGFF-like topology (the standard embedded
+benchmark generator shape), software times drawn from a lognormal-ish
+range, data volumes by edge class, and hardware implementation sets
+synthesized from :data:`~repro.model.functions.FUNCTION_LIBRARY` — so
+generated apps are statistically similar to the motion-detection
+benchmark but arbitrarily sized.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import layered, tgff_like
+from repro.model.application import Application
+from repro.model.functions import FUNCTION_LIBRARY, synthesize_implementations
+from repro.model.task import Task
+
+RandomLike = Union[int, random.Random, None]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random application generator."""
+
+    num_tasks: int = 20
+    topology: str = "tgff"  # "tgff" | "layered"
+    software_only_fraction: float = 0.2
+    min_sw_ms: float = 0.5
+    max_sw_ms: float = 8.0
+    min_kbytes: float = 1.0
+    max_kbytes: float = 30.0
+
+    def validate(self) -> None:
+        if self.num_tasks < 1:
+            raise ConfigurationError("num_tasks must be >= 1")
+        if self.topology not in ("tgff", "layered"):
+            raise ConfigurationError("topology must be 'tgff' or 'layered'")
+        if not 0.0 <= self.software_only_fraction <= 1.0:
+            raise ConfigurationError("software_only_fraction must lie in [0, 1]")
+        if not 0 < self.min_sw_ms <= self.max_sw_ms:
+            raise ConfigurationError("need 0 < min_sw_ms <= max_sw_ms")
+        if not 0 < self.min_kbytes <= self.max_kbytes:
+            raise ConfigurationError("need 0 < min_kbytes <= max_kbytes")
+
+
+def random_application(
+    config: Optional[GeneratorConfig] = None,
+    seed: RandomLike = None,
+    name: Optional[str] = None,
+) -> Application:
+    """Generate a random, validated application."""
+    config = config if config is not None else GeneratorConfig()
+    config.validate()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    if config.topology == "tgff":
+        dag = tgff_like(config.num_tasks, seed=rng)
+    else:
+        width = max(2, round(config.num_tasks ** 0.5))
+        layers = max(1, (config.num_tasks + width - 1) // width)
+        dag = layered(layers, width, edge_probability=0.3, seed=rng)
+
+    hw_specs = [
+        spec for name_, spec in sorted(FUNCTION_LIBRARY.items())
+        if spec.min_speedup > 1.5
+    ]
+    app = Application(name or f"random_{config.num_tasks}")
+    nodes = sorted(dag.nodes())[: config.num_tasks]
+    for index in nodes:
+        sw_time = rng.uniform(config.min_sw_ms, config.max_sw_ms)
+        if rng.random() < config.software_only_fraction:
+            functionality, impls = "CONTROL", ()
+        else:
+            spec = hw_specs[rng.randrange(len(hw_specs))]
+            functionality = spec.name
+            impls = synthesize_implementations(spec, sw_time)
+        app.add_task(
+            Task(
+                index=index,
+                name=f"t{index}",
+                functionality=functionality,
+                sw_time_ms=sw_time,
+                implementations=impls,
+            )
+        )
+    keep = set(nodes)
+    for src, dst, _ in dag.edges():
+        if src in keep and dst in keep:
+            app.add_dependency(
+                src, dst, rng.uniform(config.min_kbytes, config.max_kbytes)
+            )
+    app.validate()
+    return app

@@ -1,0 +1,296 @@
+"""Synchronous dataflow (SDF) front end.
+
+The paper's conclusion announces work on "simulated annealing moves for
+systems described by multiple models of computation, including SDF and
+CFSM".  This module implements the SDF side as a *front end*: an SDF
+graph (actors firing with fixed production/consumption rates) is
+checked for consistency, its repetition vector is computed from the
+balance equations, and one iteration is *unfolded* into an ordinary
+:class:`~repro.model.application.Application` precedence graph — which
+the existing explorer then maps unchanged.  This matches the paper's
+architecture: new models of computation only require producing the
+coarse-grain precedence graph; the move set is untouched.
+
+Theory refresher: for every channel ``a -> b`` with production rate
+``p``, consumption rate ``c`` the balance equation ``q(a)·p = q(b)·c``
+must admit a positive integer solution ``q`` (the repetition vector);
+firing ``j`` of the consumer needs ``(j+1)·c`` tokens, available once
+the producer has fired ``i+1`` times where ``(i+1)·p + delay >=
+(j+1)·c`` — which yields the inter-iteration precedence edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import ceil, gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.model.application import Application
+from repro.model.task import Implementation, Task
+
+
+@dataclass(frozen=True)
+class SdfActor:
+    """One SDF actor: a named computation fired ``q`` times per iteration.
+
+    ``sw_time_ms`` / ``implementations`` describe *one firing*, exactly
+    like an ordinary task.
+    """
+
+    name: str
+    functionality: str
+    sw_time_ms: float
+    implementations: Tuple[Implementation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("actor name must be non-empty")
+        if self.sw_time_ms < 0:
+            raise ModelError(f"actor {self.name!r}: sw_time_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class SdfChannel:
+    """A FIFO channel with fixed rates and optional initial tokens."""
+
+    src: str
+    dst: str
+    production: int
+    consumption: int
+    initial_tokens: int = 0
+    token_kbytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.production < 1 or self.consumption < 1:
+            raise ModelError(
+                f"channel {self.src}->{self.dst}: rates must be >= 1"
+            )
+        if self.initial_tokens < 0:
+            raise ModelError(
+                f"channel {self.src}->{self.dst}: initial_tokens must be >= 0"
+            )
+        if self.token_kbytes < 0:
+            raise ModelError(
+                f"channel {self.src}->{self.dst}: token_kbytes must be >= 0"
+            )
+
+
+class SdfGraph:
+    """A synchronous dataflow graph."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._actors: Dict[str, SdfActor] = {}
+        self._channels: List[SdfChannel] = []
+
+    # ------------------------------------------------------------------
+    def add_actor(self, actor: SdfActor) -> SdfActor:
+        if actor.name in self._actors:
+            raise ModelError(f"duplicate actor {actor.name!r}")
+        self._actors[actor.name] = actor
+        return actor
+
+    def add_channel(self, channel: SdfChannel) -> SdfChannel:
+        for endpoint in (channel.src, channel.dst):
+            if endpoint not in self._actors:
+                raise ModelError(f"channel references unknown actor {endpoint!r}")
+        self._channels.append(channel)
+        return channel
+
+    def actors(self) -> List[SdfActor]:
+        return list(self._actors.values())
+
+    def channels(self) -> List[SdfChannel]:
+        return list(self._channels)
+
+    def actor(self, name: str) -> SdfActor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise ModelError(f"no actor named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # consistency / repetition vector
+    # ------------------------------------------------------------------
+    def repetition_vector(self) -> Dict[str, int]:
+        """Smallest positive integer solution of the balance equations.
+
+        Raises :class:`ModelError` for inconsistent (rate-mismatched)
+        graphs, which admit no bounded-memory periodic schedule.
+        """
+        if not self._actors:
+            raise ModelError(f"SDF graph {self.name!r} has no actors")
+        ratio: Dict[str, Optional[Fraction]] = {
+            name: None for name in self._actors
+        }
+        # Propagate rational firing ratios over the (undirected) topology.
+        adjacency: Dict[str, List[Tuple[str, Fraction]]] = {
+            name: [] for name in self._actors
+        }
+        for ch in self._channels:
+            # q(dst) = q(src) * production / consumption
+            adjacency[ch.src].append(
+                (ch.dst, Fraction(ch.production, ch.consumption))
+            )
+            adjacency[ch.dst].append(
+                (ch.src, Fraction(ch.consumption, ch.production))
+            )
+        for start in self._actors:
+            if ratio[start] is not None:
+                continue
+            ratio[start] = Fraction(1)
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr, factor in adjacency[node]:
+                    implied = ratio[node] * factor
+                    if ratio[nbr] is None:
+                        ratio[nbr] = implied
+                        stack.append(nbr)
+                    elif ratio[nbr] != implied:
+                        raise ModelError(
+                            f"SDF graph {self.name!r} is inconsistent at "
+                            f"actor {nbr!r}: {ratio[nbr]} != {implied}"
+                        )
+        denominators = [r.denominator for r in ratio.values()]  # type: ignore[union-attr]
+        scale = 1
+        for d in denominators:
+            scale = scale * d // gcd(scale, d)
+        counts = {
+            name: int(r * scale) for name, r in ratio.items()  # type: ignore[arg-type]
+        }
+        divisor = 0
+        for value in counts.values():
+            divisor = gcd(divisor, value)
+        return {name: value // divisor for name, value in counts.items()}
+
+    def is_consistent(self) -> bool:
+        try:
+            self.repetition_vector()
+        except ModelError:
+            return False
+        return True
+
+    def check_live(self) -> None:
+        """Deadlock check: symbolically execute one iteration.
+
+        Repeatedly fire any actor that (a) still has firings left this
+        iteration and (b) has enough tokens on all inputs.  If firings
+        remain but nothing can fire, the graph deadlocks (insufficient
+        initial tokens on some cycle).
+        """
+        repetitions = self.repetition_vector()
+        remaining = dict(repetitions)
+        tokens: Dict[int, int] = {
+            k: ch.initial_tokens for k, ch in enumerate(self._channels)
+        }
+        inputs: Dict[str, List[int]] = {name: [] for name in self._actors}
+        outputs: Dict[str, List[int]] = {name: [] for name in self._actors}
+        for k, ch in enumerate(self._channels):
+            inputs[ch.dst].append(k)
+            outputs[ch.src].append(k)
+
+        progress = True
+        while progress and any(remaining.values()):
+            progress = False
+            for name in self._actors:
+                if remaining[name] == 0:
+                    continue
+                if all(
+                    tokens[k] >= self._channels[k].consumption
+                    for k in inputs[name]
+                ):
+                    for k in inputs[name]:
+                        tokens[k] -= self._channels[k].consumption
+                    for k in outputs[name]:
+                        tokens[k] += self._channels[k].production
+                    remaining[name] -= 1
+                    progress = True
+        if any(remaining.values()):
+            stuck = sorted(n for n, r in remaining.items() if r)
+            raise ModelError(
+                f"SDF graph {self.name!r} deadlocks; stuck actors: {stuck}"
+            )
+
+    # ------------------------------------------------------------------
+    # unfolding
+    # ------------------------------------------------------------------
+    def unfold(
+        self,
+        iterations: int = 1,
+        sequential_firings: bool = True,
+    ) -> Application:
+        """Expand ``iterations`` iterations into a precedence graph.
+
+        Each actor ``a`` becomes ``q(a) × iterations`` task instances
+        named ``a#k``.  ``sequential_firings`` chains the instances of
+        an actor (no auto-concurrency — the common embedded assumption);
+        pass False to allow concurrent firings of one actor.
+        """
+        if iterations < 1:
+            raise ModelError("iterations must be >= 1")
+        self.check_live()
+        repetitions = self.repetition_vector()
+
+        app = Application(f"{self.name}_x{iterations}")
+        index = 0
+        instance_ids: Dict[str, List[int]] = {}
+        for actor in self._actors.values():
+            count = repetitions[actor.name] * iterations
+            ids = []
+            for k in range(count):
+                app.add_task(
+                    Task(
+                        index=index,
+                        name=f"{actor.name}#{k}",
+                        functionality=actor.functionality,
+                        sw_time_ms=actor.sw_time_ms,
+                        implementations=actor.implementations,
+                    )
+                )
+                ids.append(index)
+                index += 1
+            instance_ids[actor.name] = ids
+
+        if sequential_firings:
+            for ids in instance_ids.values():
+                for a, b in zip(ids, ids[1:]):
+                    if not app.dag.has_edge(a, b):
+                        app.add_dependency(a, b, 0.0)
+
+        for ch in self._channels:
+            producers = instance_ids[ch.src]
+            consumers = instance_ids[ch.dst]
+            volume = ch.consumption * ch.token_kbytes
+            for j, consumer in enumerate(consumers):
+                needed = (j + 1) * ch.consumption - ch.initial_tokens
+                if needed <= 0:
+                    continue  # served entirely by initial tokens
+                i_req = ceil(needed / ch.production) - 1
+                if i_req >= len(producers):
+                    raise ModelError(
+                        f"channel {ch.src}->{ch.dst}: firing {j} needs "
+                        f"producer firing {i_req}, beyond the unfolded "
+                        f"horizon — increase iterations"
+                    )
+                producer = producers[i_req]
+                if producer == consumer:
+                    continue
+                if app.dag.has_edge(producer, consumer):
+                    # merge volumes when rates map several channels onto
+                    # the same instance pair
+                    current = app.data_kbytes(producer, consumer)
+                    app.dag.set_edge_weight(producer, consumer, current + volume)
+                else:
+                    app.add_dependency(producer, consumer, volume)
+
+        app.validate()
+        return app
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SdfGraph({self.name!r}, actors={len(self._actors)}, "
+            f"channels={len(self._channels)})"
+        )

@@ -1,0 +1,139 @@
+"""Tasks and hardware implementations.
+
+A :class:`Task` is a coarse-grain node of the application precedence
+graph (paper section 3.1): it has a functionality ``F(v_i)``, an
+estimated software execution time ``t_sw`` and one or more hardware
+implementations.  The paper's experimental section stresses that each
+function was synthesized several times, yielding "a set of dominant
+solutions in the area-time domain" (5 or 6 per function); the annealer
+picks one of these per hardware task.  :class:`Implementation` is one
+such (CLB count, execution time) point.
+
+All times in this library are expressed in **milliseconds** and areas in
+**CLBs**, matching the units of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True, order=True)
+class Implementation:
+    """One synthesized hardware variant of a task: an area/time point."""
+
+    clbs: int
+    time_ms: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.clbs <= 0:
+            raise ModelError(f"implementation {self.name!r}: clbs must be > 0")
+        if self.time_ms < 0:
+            raise ModelError(f"implementation {self.name!r}: time must be >= 0")
+
+    def dominates(self, other: "Implementation") -> bool:
+        """True when this point is at least as good on both axes and
+        strictly better on one (smaller area and/or smaller time)."""
+        if self.clbs > other.clbs or self.time_ms > other.time_ms:
+            return False
+        return self.clbs < other.clbs or self.time_ms < other.time_ms
+
+
+def pareto_filter(impls: Iterable[Implementation]) -> List[Implementation]:
+    """Keep only the non-dominated implementations, sorted by area."""
+    points = sorted(set(impls))
+    kept: List[Implementation] = []
+    best_time = float("inf")
+    for impl in points:  # ascending area, then time
+        if impl.time_ms < best_time:
+            kept.append(impl)
+            best_time = impl.time_ms
+    return kept
+
+
+def is_dominant_set(impls: Sequence[Implementation]) -> bool:
+    """True when no implementation in the sequence dominates another."""
+    for i, a in enumerate(impls):
+        for b in impls[i + 1:]:
+            if a.dominates(b) or b.dominates(a):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class Task:
+    """A coarse-grain application task.
+
+    Parameters
+    ----------
+    index:
+        The paper's node index ``i`` in ``[0, N)``; unique per application.
+    name:
+        Human-readable identifier (e.g. ``"erosion_3x3"``).
+    functionality:
+        The function family ``F(v_i)`` (e.g. ``"FIR"``, ``"DCT"``).
+    sw_time_ms:
+        Estimated execution time on the programmable processor.
+    implementations:
+        Dominant hardware area/time points, sorted by increasing area.
+        Empty means the task is software-only (cannot be moved to HW).
+    """
+
+    index: int
+    name: str
+    functionality: str
+    sw_time_ms: float
+    implementations: Tuple[Implementation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"task {self.name!r}: index must be >= 0")
+        if self.sw_time_ms < 0:
+            raise ModelError(f"task {self.name!r}: sw_time_ms must be >= 0")
+        ordered = tuple(sorted(self.implementations))
+        if not is_dominant_set(ordered):
+            raise ModelError(
+                f"task {self.name!r}: implementations must form a dominant "
+                "(Pareto) set; filter them with pareto_filter() first"
+            )
+        object.__setattr__(self, "implementations", ordered)
+
+    # ------------------------------------------------------------------
+    @property
+    def hardware_capable(self) -> bool:
+        return bool(self.implementations)
+
+    @property
+    def num_implementations(self) -> int:
+        return len(self.implementations)
+
+    def implementation(self, choice: int) -> Implementation:
+        """The implementation selected by index ``choice``."""
+        try:
+            return self.implementations[choice]
+        except IndexError:
+            raise ModelError(
+                f"task {self.name!r}: implementation index {choice} out of "
+                f"range [0, {len(self.implementations)})"
+            ) from None
+
+    def smallest_implementation(self) -> Implementation:
+        if not self.implementations:
+            raise ModelError(f"task {self.name!r} has no hardware implementation")
+        return self.implementations[0]
+
+    def fastest_implementation(self) -> Implementation:
+        if not self.implementations:
+            raise ModelError(f"task {self.name!r} has no hardware implementation")
+        return self.implementations[-1]
+
+    def best_speedup(self) -> float:
+        """Software time over the fastest hardware time (inf if hw is 0)."""
+        fastest = self.fastest_implementation()
+        if fastest.time_ms == 0:
+            return float("inf")
+        return self.sw_time_ms / fastest.time_ms

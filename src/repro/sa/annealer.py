@@ -1,0 +1,254 @@
+"""The annealing engine (paper section 4.1).
+
+The loop is deliberately plain: draw a move, realize it, score the new
+solution by longest path, accept by the Metropolis criterion at the
+schedule's current temperature, feed the outcome back to the adaptive
+schedule.  The first ``warmup_iterations`` run at infinite temperature
+(every feasible move is accepted) while cost statistics accumulate —
+exactly the first 1200 iterations of the paper's Fig. 2 — after which
+adaptive cooling starts.
+
+The engine is *anytime*: iteration is exposed as a generator, so callers
+can stop whenever they wish and keep the best solution so far (section
+4: "it can be interrupted by the user at any time and will then return
+the current solution").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import ConfigurationError, InfeasibleMoveError
+from repro.mapping.cost import CostFunction, MakespanCost
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import Solution
+from repro.sa.moves import MoveGenerator, MoveStats
+from repro.sa.schedules import CoolingSchedule, LamDelosmeSchedule
+from repro.sa.trace import TraceRecord
+
+
+@dataclass
+class AnnealerConfig:
+    """Knobs of one annealing run.
+
+    ``iterations`` counts every move draw (including infeasible ones),
+    matching the x-axis of the paper's Fig. 2.  ``keep_trace`` disables
+    per-iteration records for the 100-run sweeps of Fig. 3.
+    """
+
+    iterations: int = 5000
+    warmup_iterations: int = 1200
+    seed: Optional[int] = None
+    keep_trace: bool = True
+    #: Stop early when the best cost has not improved for this many
+    #: iterations after cooling started (None = run the full budget).
+    stall_limit: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if not 0 <= self.warmup_iterations < self.iterations:
+            raise ConfigurationError(
+                "warmup_iterations must lie in [0, iterations)"
+            )
+        if self.stall_limit is not None and self.stall_limit < 1:
+            raise ConfigurationError("stall_limit must be >= 1 or None")
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of a run: the best solution and how we got there."""
+
+    best_solution: Solution
+    best_cost: float
+    final_cost: float
+    iterations_run: int
+    runtime_s: float
+    trace: List[TraceRecord] = field(default_factory=list)
+    move_stats: MoveStats = field(default_factory=MoveStats)
+
+    @property
+    def accept_ratio(self) -> float:
+        accepted = sum(self.move_stats.accepted.values())
+        proposed = sum(self.move_stats.proposed.values())
+        return accepted / proposed if proposed else 0.0
+
+
+class SimulatedAnnealing:
+    """Adaptive simulated annealing over mapping solutions."""
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        move_generator: MoveGenerator,
+        schedule: Optional[CoolingSchedule] = None,
+        cost_function: Optional[CostFunction] = None,
+        config: Optional[AnnealerConfig] = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.move_generator = move_generator
+        self.schedule = schedule if schedule is not None else LamDelosmeSchedule()
+        self.cost_function = cost_function if cost_function is not None else MakespanCost()
+        self.config = config if config is not None else AnnealerConfig()
+        self.config.validate()
+
+    # ------------------------------------------------------------------
+    def run(self, initial_solution: Solution) -> AnnealingResult:
+        """Anneal to completion (or stall) and return the best solution."""
+        result: Optional[AnnealingResult] = None
+        for result in self.iterate(initial_solution):
+            pass
+        assert result is not None
+        return result
+
+    def iterate(self, initial_solution: Solution) -> Iterator[AnnealingResult]:
+        """Generator form: yields a running result every iteration.
+
+        The yielded object is updated in place except for ``trace`` and
+        ``best_solution`` (copied on improvement), so interrupting the
+        loop at any point leaves a consistent best-so-far result.
+        """
+        config = self.config
+        rng = random.Random(config.seed)
+        solution = initial_solution
+        evaluation = self.evaluator.evaluate(solution)
+        current_cost = self.cost_function(solution, evaluation)
+        if not math.isfinite(current_cost):
+            raise ConfigurationError("initial solution must be feasible")
+
+        best_solution = solution.copy()
+        best_cost = current_cost
+        stats = MoveStats()
+        trace: List[TraceRecord] = []
+        result = AnnealingResult(
+            best_solution=best_solution,
+            best_cost=best_cost,
+            final_cost=current_cost,
+            iterations_run=0,
+            runtime_s=0.0,
+            trace=trace,
+            move_stats=stats,
+        )
+
+        warmup_costs: List[float] = [current_cost]
+        cooling = False
+        stall = 0
+        started = time.perf_counter()
+        self._started = started
+
+        for iteration in range(1, config.iterations + 1):
+            if not cooling and iteration > config.warmup_iterations:
+                self.schedule.begin(warmup_costs)
+                cooling = True
+
+            accepted = False
+            move_name = "none"
+            try:
+                move = self.move_generator.propose(solution, rng)
+                move_name = move.name
+                stats.record_proposed(move_name)
+                move.apply(solution)
+            except InfeasibleMoveError:
+                # Infeasible draws consume an iteration (the paper's
+                # Fig. 2 x-axis counts them) but carry no thermal
+                # information, so they are not fed to the schedule.
+                stats.record_infeasible(move_name)
+                self._finish_iteration(
+                    result, trace, iteration, current_cost, best_cost,
+                    solution, accepted=False, move_name=move_name,
+                    cooling=cooling, cost=current_cost,
+                )
+                yield result
+                continue
+
+            evaluation = self.evaluator.evaluate(solution)
+            new_cost = self.cost_function(solution, evaluation)
+            accepted = self._metropolis(current_cost, new_cost, cooling, rng)
+
+            if accepted:
+                current_cost = new_cost
+                stats.record_accepted(move_name)
+                if new_cost < best_cost:
+                    best_cost = new_cost
+                    best_solution = solution.copy()
+                    result.best_solution = best_solution
+                    result.best_cost = best_cost
+                    stall = 0
+                elif cooling:
+                    stall += 1
+            else:
+                move.undo(solution)
+                stats.record_rejected(move_name)
+                if cooling:
+                    stall += 1
+
+            if not cooling:
+                warmup_costs.append(current_cost)
+            else:
+                self.schedule.record(current_cost, accepted)
+
+            self._finish_iteration(
+                result, trace, iteration, current_cost, best_cost,
+                solution, accepted, move_name, cooling, current_cost,
+            )
+            yield result
+
+            if (
+                cooling
+                and config.stall_limit is not None
+                and stall >= config.stall_limit
+            ):
+                break
+
+        result.final_cost = current_cost
+        result.runtime_s = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def _metropolis(
+        self, current: float, candidate: float, cooling: bool, rng: random.Random
+    ) -> bool:
+        if not math.isfinite(candidate):
+            return False  # cyclic realization: always reject
+        delta = candidate - current
+        if delta <= 0:
+            return True
+        if not cooling:
+            return True  # infinite-temperature warmup accepts everything
+        temperature = self.schedule.temperature
+        if temperature <= 0:
+            return False
+        return rng.random() < math.exp(-delta / temperature)
+
+    def _finish_iteration(
+        self,
+        result: AnnealingResult,
+        trace: List[TraceRecord],
+        iteration: int,
+        current_cost: float,
+        best_cost: float,
+        solution: Solution,
+        accepted: bool,
+        move_name: str,
+        cooling: bool,
+        cost: float,
+    ) -> None:
+        result.iterations_run = iteration
+        result.final_cost = current_cost
+        result.best_cost = best_cost
+        result.runtime_s = time.perf_counter() - self._started
+        if self.config.keep_trace:
+            trace.append(
+                TraceRecord(
+                    iteration=iteration,
+                    temperature=self.schedule.temperature if cooling else math.inf,
+                    current_cost=current_cost,
+                    best_cost=best_cost,
+                    num_contexts=solution.num_contexts(),
+                    accepted=accepted,
+                    move_name=move_name,
+                )
+            )

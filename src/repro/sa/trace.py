@@ -1,0 +1,47 @@
+"""Iteration traces: the raw data behind the paper's Fig. 2."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """State of the annealer after one iteration."""
+
+    iteration: int
+    temperature: float
+    current_cost: float
+    best_cost: float
+    num_contexts: int
+    accepted: bool
+    move_name: str
+
+    def as_csv_row(self) -> str:
+        temp = "inf" if math.isinf(self.temperature) else f"{self.temperature:.6g}"
+        return (
+            f"{self.iteration},{temp},{self.current_cost:.6g},"
+            f"{self.best_cost:.6g},{self.num_contexts},"
+            f"{int(self.accepted)},{self.move_name}"
+        )
+
+
+CSV_HEADER = "iteration,temperature,current_cost,best_cost,num_contexts,accepted,move"
+
+
+def write_csv(records: Sequence[TraceRecord], stream: TextIO) -> None:
+    stream.write(CSV_HEADER + "\n")
+    for record in records:
+        stream.write(record.as_csv_row() + "\n")
+
+
+def downsample(records: Sequence[TraceRecord], every: int) -> List[TraceRecord]:
+    """Keep one record in ``every`` (plus the last one) for plotting."""
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    kept = [r for i, r in enumerate(records) if i % every == 0]
+    if records and (not kept or kept[-1] is not records[-1]):
+        kept.append(records[-1])
+    return kept

@@ -1,0 +1,101 @@
+"""Tests for solution-space counting — anchored on the paper's numbers."""
+
+import itertools
+from math import comb, factorial
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.combinatorics import (
+    chain_interleavings,
+    context_placements,
+    count_linear_extensions,
+    solution_space_report,
+)
+from repro.errors import GraphError
+from repro.graph.dag import Dag
+from repro.graph.generators import chain, fork_join, parallel_chains
+
+
+def brute_force_extensions(dag):
+    nodes = list(dag.nodes())
+    edges = [(a, b) for a, b, _ in dag.edges()]
+    count = 0
+    for perm in itertools.permutations(nodes):
+        pos = {n: i for i, n in enumerate(perm)}
+        if all(pos[a] < pos[b] for a, b in edges):
+            count += 1
+    return count
+
+
+class TestLinearExtensions:
+    def test_chain_has_one_order(self):
+        assert count_linear_extensions(chain(6)) == 1
+
+    def test_antichain_is_factorial(self):
+        dag = Dag()
+        for n in range(5):
+            dag.add_node(n)
+        assert count_linear_extensions(dag) == factorial(5)
+
+    def test_diamond(self):
+        assert count_linear_extensions(fork_join(2)) == 2
+
+    def test_parallel_chains_closed_form(self):
+        dag = parallel_chains([3, 4])
+        assert count_linear_extensions(dag) == chain_interleavings([3, 4])
+
+    def test_matches_brute_force_on_small_graphs(self):
+        from repro.graph.generators import random_dag
+        for seed in range(4):
+            dag = random_dag(6, edge_probability=0.35, seed=seed)
+            assert count_linear_extensions(dag) == brute_force_extensions(dag)
+
+    def test_node_limit_guard(self):
+        dag = Dag()
+        for n in range(45):
+            dag.add_node(n)
+        with pytest.raises(GraphError):
+            count_linear_extensions(dag)
+
+
+class TestClosedForms:
+    def test_interleavings(self):
+        assert chain_interleavings([7, 6]) == comb(13, 6) == 1716
+        assert chain_interleavings([2, 1]) == 3
+        assert chain_interleavings([5]) == 1
+        assert chain_interleavings([]) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            chain_interleavings([-1])
+
+    def test_context_placements(self):
+        assert context_placements(28, 2) == 378
+        assert context_placements(28, 6) == 376_740
+        assert context_placements(28, 0) == 1
+        with pytest.raises(GraphError):
+            context_placements(-1, 0)
+
+
+class TestPaperReport:
+    def test_motion_detection_numbers(self, motion_app):
+        report = solution_space_report(motion_app, context_changes=(2, 4, 6))
+        assert report.total_orders == 348_840
+        assert report.placements[2] == 378
+        assert report.combinations[2] == 131_861_520
+        assert report.combinations[4] == 7_142_499_000
+
+    def test_table_formatting(self, motion_app):
+        report = solution_space_report(motion_app)
+        text = report.format_table()
+        assert "348,840" in text
+        assert "131,861,520" in text
+
+
+@given(lengths=st.lists(st.integers(1, 4), min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_property_parallel_chains_match_multinomial(lengths):
+    dag = parallel_chains(lengths)
+    if len(dag) <= 12:
+        assert count_linear_extensions(dag) == chain_interleavings(lengths)

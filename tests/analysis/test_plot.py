@@ -1,0 +1,74 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plot import ascii_plot, plot_sweep, plot_trace
+from repro.analysis.sweep import DeviceSweepRow
+from repro.errors import ConfigurationError
+from repro.sa.trace import TraceRecord
+
+
+class TestAsciiPlot:
+    def test_basic_series(self):
+        text = ascii_plot(
+            [("line", [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)])],
+            width=30, height=8, x_label="x",
+        )
+        assert "*" in text
+        assert "line" in text
+        assert "x" in text
+
+    def test_multiple_series_use_distinct_glyphs(self):
+        text = ascii_plot(
+            [
+                ("a", [(0.0, 0.0), (1.0, 1.0)]),
+                ("b", [(0.0, 1.0), (1.0, 0.0)]),
+            ],
+            width=20, height=6,
+        )
+        assert "*" in text and "o" in text
+
+    def test_empty(self):
+        assert ascii_plot([("x", [])]) == "(no data)"
+
+    def test_constant_series(self):
+        text = ascii_plot([("flat", [(0.0, 5.0), (1.0, 5.0)])], width=20, height=5)
+        assert "*" in text
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("a", [(0, 0)])], width=5, height=2)
+
+
+class TestTracePlot:
+    def test_renders(self):
+        trace = [
+            TraceRecord(i, 1.0, 50.0 - i * 0.1, 40.0, 1 + i % 3, True, "m")
+            for i in range(1, 101)
+        ]
+        text = plot_trace(trace)
+        assert "execution time" in text
+        assert "contexts" in text
+        assert "iteration" in text
+
+    def test_empty(self):
+        assert plot_trace([]) == "(empty trace)"
+
+
+class TestSweepPlot:
+    def test_renders(self):
+        rows = [
+            DeviceSweepRow(
+                n_clbs=s, runs=1, execution_ms=30.0 + s / 1000,
+                execution_std_ms=0.0, initial_reconfig_ms=5.0,
+                dynamic_reconfig_ms=10.0, num_contexts=4.0, hw_tasks=10.0,
+                feasible_fraction=1.0,
+            )
+            for s in (200, 800, 2000)
+        ]
+        text = plot_sweep(rows)
+        assert "reconfiguration" in text
+        assert "device size" in text
+
+    def test_empty(self):
+        assert plot_sweep([]) == "(empty sweep)"

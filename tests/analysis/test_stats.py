@@ -1,0 +1,54 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    confidence_interval95,
+    mean,
+    median,
+    std,
+    summarize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_std_single_sample(self):
+        assert std([5.0]) == 0.0
+
+    def test_std_known_value(self):
+        assert std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_empty_rejected(self):
+        for fn in (mean, std, median, summarize):
+            with pytest.raises(ConfigurationError):
+                fn([])
+
+
+class TestCI:
+    def test_single_sample_degenerates(self):
+        assert confidence_interval95([4.0]) == (4.0, 4.0)
+
+    def test_contains_mean(self):
+        lo, hi = confidence_interval95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+
+class TestSummary:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == Summary(3, 2.0, 1.0, 1.0, 2.0, 3.0)
+
+    def test_format(self):
+        text = summarize([1.0, 2.0]).format("ms")
+        assert "mean=1.50 ms" in text

@@ -1,0 +1,78 @@
+"""Tests for the Architecture container."""
+
+import pytest
+
+from repro.arch.architecture import Architecture, epicure_architecture
+from repro.arch.asic import Asic
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import ReconfigurableCircuit
+from repro.errors import ArchitectureError
+
+
+class TestContainer:
+    def test_add_and_lookup(self):
+        arch = Architecture("a")
+        proc = arch.add_resource(Processor("cpu"))
+        assert arch.resource("cpu") is proc
+        assert "cpu" in arch
+        assert len(arch) == 1
+
+    def test_duplicate_name_rejected(self):
+        arch = Architecture("a")
+        arch.add_resource(Processor("cpu"))
+        with pytest.raises(ArchitectureError):
+            arch.add_resource(Asic("cpu"))
+
+    def test_remove(self):
+        arch = Architecture("a")
+        arch.add_resource(Processor("cpu"))
+        removed = arch.remove_resource("cpu")
+        assert removed.name == "cpu"
+        with pytest.raises(ArchitectureError):
+            arch.remove_resource("cpu")
+
+    def test_kind_queries(self):
+        arch = Architecture("a")
+        arch.add_resource(Processor("cpu"))
+        arch.add_resource(ReconfigurableCircuit("fpga", n_clbs=100))
+        arch.add_resource(Asic("asic"))
+        assert [p.name for p in arch.processors()] == ["cpu"]
+        assert [r.name for r in arch.reconfigurable_circuits()] == ["fpga"]
+        assert [a.name for a in arch.asics()] == ["asic"]
+
+    def test_fresh_name(self):
+        arch = Architecture("a")
+        arch.add_resource(Processor("proc_1"))
+        name = arch.fresh_name("proc")
+        assert name not in arch
+        arch.add_resource(Processor(name))
+        assert arch.fresh_name("proc") not in (name, "proc_1")
+
+    def test_total_cost(self):
+        arch = Architecture("a")
+        arch.add_resource(Processor("cpu", monetary_cost=1.5))
+        arch.add_resource(ReconfigurableCircuit("f", n_clbs=10, monetary_cost=2.5))
+        assert arch.total_monetary_cost() == pytest.approx(4.0)
+
+    def test_validation_needs_processor(self):
+        arch = Architecture("a")
+        arch.add_resource(ReconfigurableCircuit("f", n_clbs=10))
+        with pytest.raises(ArchitectureError):
+            arch.validate()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("")
+
+
+class TestEpicure:
+    def test_default_platform(self):
+        arch = epicure_architecture()
+        assert len(arch.processors()) == 1
+        rc = arch.reconfigurable_circuits()[0]
+        assert rc.n_clbs == 2000
+        assert rc.reconfig_ms_per_clb == pytest.approx(0.0225)
+
+    def test_custom_size(self):
+        arch = epicure_architecture(n_clbs=800)
+        assert arch.reconfigurable_circuits()[0].n_clbs == 800

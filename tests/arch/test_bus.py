@@ -1,0 +1,31 @@
+"""Tests for the shared bus model."""
+
+import pytest
+
+from repro.arch.bus import Bus
+from repro.errors import ArchitectureError
+
+
+class TestBus:
+    def test_transfer_time(self):
+        bus = Bus(rate_kbytes_per_ms=50.0)
+        assert bus.transfer_time_ms(100.0) == pytest.approx(2.0)
+
+    def test_zero_data_is_free_even_with_latency(self):
+        bus = Bus(rate_kbytes_per_ms=50.0, latency_ms=0.5)
+        assert bus.transfer_time_ms(0.0) == 0.0
+
+    def test_latency_added(self):
+        bus = Bus(rate_kbytes_per_ms=10.0, latency_ms=0.25)
+        assert bus.transfer_time_ms(10.0) == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            Bus(name="")
+        with pytest.raises(ArchitectureError):
+            Bus(rate_kbytes_per_ms=0.0)
+        with pytest.raises(ArchitectureError):
+            Bus(latency_ms=-0.1)
+        bus = Bus()
+        with pytest.raises(ArchitectureError):
+            bus.transfer_time_ms(-1.0)

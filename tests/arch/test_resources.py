@@ -1,0 +1,123 @@
+"""Tests for Processor / Asic / ReconfigurableCircuit behavior."""
+
+import pytest
+
+from repro.arch.asic import Asic
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import CONFIG_NODE, ReconfigurableCircuit
+from repro.arch.resource import OrderKind
+from repro.errors import ArchitectureError, ModelError
+from repro.mapping.solution import Solution
+
+
+class TestProcessor:
+    def test_order_kind(self):
+        assert Processor("p").order_kind is OrderKind.TOTAL
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            Processor("")
+        with pytest.raises(ArchitectureError):
+            Processor("p", speed_factor=0)
+        with pytest.raises(ArchitectureError):
+            Processor("p", monetary_cost=-1)
+
+    def test_execution_time_scales(self, small_app, small_arch):
+        solution = Solution(small_app, small_arch)
+        cpu = small_arch.resource("cpu")
+        assert cpu.execution_time_ms(solution, 1) == pytest.approx(6.0)
+        fast = Processor("fast", speed_factor=2.0)
+        assert fast.execution_time_ms(solution, 1) == pytest.approx(3.0)
+
+    def test_sequentialization_edges_chain_the_order(
+        self, small_app, small_arch, small_solution
+    ):
+        cpu = small_arch.resource("cpu")
+        edges = cpu.sequentialization_edges(small_solution)
+        order = small_solution.software_order("cpu")
+        assert edges == [(a, b, 0.0) for a, b in zip(order, order[1:])]
+
+
+class TestAsic:
+    def test_order_kind_and_no_edges(self, small_app, small_arch):
+        asic = Asic("accel")
+        assert asic.order_kind is OrderKind.PARTIAL
+        solution = Solution(small_app, small_arch)
+        assert asic.sequentialization_edges(solution) == []
+
+    def test_execution_time_uses_selected_impl(self, small_app, small_arch):
+        small_arch.add_resource(Asic("accel"))
+        solution = Solution(small_app, small_arch)
+        asic = small_arch.resource("accel")
+        assert asic.execution_time_ms(solution, 1) == pytest.approx(1.0)
+        solution.set_implementation_choice(1, 1)
+        assert asic.execution_time_ms(solution, 1) == pytest.approx(0.5)
+
+    def test_software_only_task_rejected(self, small_app, small_arch):
+        asic = Asic("accel")
+        solution = Solution(small_app, small_arch)
+        with pytest.raises(ModelError):
+            asic.execution_time_ms(solution, 0)
+
+
+class TestReconfigurableCircuit:
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            ReconfigurableCircuit("rc", n_clbs=0)
+        with pytest.raises(ArchitectureError):
+            ReconfigurableCircuit("rc", n_clbs=10, reconfig_ms_per_clb=-1)
+
+    def test_reconfiguration_time(self):
+        rc = ReconfigurableCircuit("rc", n_clbs=1000, reconfig_ms_per_clb=0.0225)
+        assert rc.reconfiguration_time_ms(2000) == pytest.approx(45.0)
+        with pytest.raises(ArchitectureError):
+            rc.reconfiguration_time_ms(-1)
+
+    def test_fits(self):
+        rc = ReconfigurableCircuit("rc", n_clbs=100)
+        assert rc.fits(60, 40)
+        assert not rc.fits(61, 40)
+
+    def test_order_kind(self):
+        rc = ReconfigurableCircuit("rc", n_clbs=100)
+        assert rc.order_kind is OrderKind.GTLP
+
+    def test_virtual_nodes_empty_when_unused(
+        self, small_app, small_arch, small_solution
+    ):
+        fpga = small_arch.resource("fpga")
+        assert fpga.virtual_nodes(small_solution) == []
+        assert fpga.sequentialization_edges(small_solution) == []
+
+    def test_config_node_and_context_edges(self, small_app, small_arch):
+        fpga = small_arch.resource("fpga")
+        solution = Solution(small_app, small_arch)
+        for t in (0, 4, 5):
+            solution.assign_to_processor(t, "cpu")
+        solution.spawn_context(1, "fpga")      # context 0: task 1 (100 CLBs)
+        solution.assign_to_context(2, "fpga", 0)  # joins: 100+80=180 <= 300
+        solution.spawn_context(3, "fpga")      # context 1: task 3 (120 CLBs)
+
+        nodes = fpga.virtual_nodes(solution)
+        assert nodes == [((CONFIG_NODE, "fpga"), pytest.approx(1.8))]
+
+        edges = fpga.sequentialization_edges(solution)
+        config_edges = [e for e in edges if e[0] == (CONFIG_NODE, "fpga")]
+        # both tasks of context 0 are initial (their preds are outside)
+        assert {e[1] for e in config_edges} == {1, 2}
+        ctx_edges = [e for e in edges if e[0] in (1, 2)]
+        # terminal {1,2} -> initial {3}, weight = tR * 120 CLBs = 1.2
+        assert {(e[0], e[1]) for e in ctx_edges} == {(1, 3), (2, 3)}
+        for e in ctx_edges:
+            assert e[2] == pytest.approx(1.2)
+
+    def test_reconfig_reporting(self, small_app, small_arch):
+        fpga = small_arch.resource("fpga")
+        solution = Solution(small_app, small_arch)
+        for t in (0, 4, 5):
+            solution.assign_to_processor(t, "cpu")
+        solution.spawn_context(1, "fpga")
+        solution.spawn_context(3, "fpga")
+        solution.assign_to_processor(2, "cpu")
+        assert fpga.initial_reconfiguration_ms(solution) == pytest.approx(1.0)
+        assert fpga.dynamic_reconfiguration_ms(solution) == pytest.approx(1.2)

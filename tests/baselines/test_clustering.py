@@ -1,0 +1,43 @@
+"""Tests for the capacity-driven clustering temporal partitioner."""
+
+import pytest
+
+from repro.arch.reconfigurable import ReconfigurableCircuit
+from repro.baselines.clustering import cluster_into_contexts
+from repro.errors import CapacityError
+
+
+class TestClustering:
+    def test_single_context_when_everything_fits(self, small_app):
+        rc = ReconfigurableCircuit("rc", n_clbs=1000)
+        contexts = cluster_into_contexts(
+            small_app, rc, [1, 2, 3], {1: 100, 2: 80, 3: 120}
+        )
+        assert contexts == [[1, 2, 3]]
+
+    def test_splits_on_capacity(self, small_app):
+        rc = ReconfigurableCircuit("rc", n_clbs=200)
+        contexts = cluster_into_contexts(
+            small_app, rc, [1, 2, 3], {1: 100, 2: 80, 3: 120}
+        )
+        assert contexts == [[1, 2], [3]]
+
+    def test_topological_context_order(self, small_app):
+        rc = ReconfigurableCircuit("rc", n_clbs=100)
+        contexts = cluster_into_contexts(
+            small_app, rc, [1, 2, 3], {1: 100, 2: 80, 3: 100}
+        )
+        # one task per context; 3 (the join) must come last
+        assert contexts[-1] == [3]
+        flattened = [t for ctx in contexts for t in ctx]
+        assert flattened.index(1) < flattened.index(3)
+        assert flattened.index(2) < flattened.index(3)
+
+    def test_oversized_task_rejected(self, small_app):
+        rc = ReconfigurableCircuit("rc", n_clbs=50)
+        with pytest.raises(CapacityError):
+            cluster_into_contexts(small_app, rc, [1], {1: 100})
+
+    def test_empty_hw_set(self, small_app):
+        rc = ReconfigurableCircuit("rc", n_clbs=100)
+        assert cluster_into_contexts(small_app, rc, [], {}) == []

@@ -1,0 +1,85 @@
+"""Tests for the GA baseline."""
+
+import pytest
+
+from repro.baselines.ga import GeneticConfig, GeneticPartitioner
+from repro.errors import ConfigurationError
+from repro.mapping.evaluator import Evaluator
+
+
+def make_ga(app, arch, **kwargs):
+    defaults = dict(population_size=20, generations=5, seed=3)
+    defaults.update(kwargs)
+    return GeneticPartitioner(app, arch, GeneticConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(population_size=1).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(generations=0).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(crossover_rate=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(mutation_rate=-0.1).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(tournament_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(population_size=5, elitism=5).validate()
+
+
+class TestChromosomes:
+    def test_decode_respects_genes(self, small_app, small_arch):
+        ga = make_ga(small_app, small_arch)
+        chromosome = (-1, 1, 0)  # tasks 1(sw), 2(hw impl1), 3(hw impl0)
+        solution = ga.decode(chromosome)
+        assert solution.resource_name_of(1) == "cpu"
+        assert solution.context_of(2) is not None
+        assert solution.implementation_choice(2) == 1
+        solution.validate()
+
+    def test_random_chromosome_in_bounds(self, small_app, small_arch):
+        import random
+        ga = make_ga(small_app, small_arch)
+        rng = random.Random(0)
+        for _ in range(50):
+            genes = ga.random_chromosome(rng)
+            assert len(genes) == 3
+            for g, t in zip(genes, (1, 2, 3)):
+                assert -1 <= g < small_app.task(t).num_implementations
+
+    def test_fitness_is_evaluator_makespan(self, small_app, small_arch):
+        ga = make_ga(small_app, small_arch)
+        all_sw = (-1, -1, -1)
+        assert ga.fitness(all_sw) == pytest.approx(21.0)
+
+
+class TestRun:
+    def test_improves_over_generations(self, small_app, small_arch):
+        ga = make_ga(small_app, small_arch, generations=8)
+        result = ga.run()
+        assert result.history[-1] <= result.history[0]
+        assert result.best_cost == result.history[-1]
+        result.best_solution.validate()
+        ev = Evaluator(small_app, small_arch).evaluate(result.best_solution)
+        assert ev.feasible
+        assert ev.makespan_ms == pytest.approx(result.best_cost)
+
+    def test_deterministic_for_seed(self, small_app, small_arch):
+        a = make_ga(small_app, small_arch).run().best_cost
+        b = make_ga(small_app, small_arch).run().best_cost
+        assert a == b
+
+    def test_history_length(self, small_app, small_arch):
+        result = make_ga(small_app, small_arch, generations=5).run()
+        assert len(result.history) == 6  # initial + one per generation
+        assert result.generations_run == 5
+
+    def test_motion_benchmark_beats_all_software(self, motion_app, epicure):
+        ga = GeneticPartitioner(
+            motion_app, epicure,
+            GeneticConfig(population_size=30, generations=6, seed=1),
+        )
+        result = ga.run()
+        assert result.best_cost < motion_app.total_sw_time_ms()

@@ -1,0 +1,66 @@
+"""Tests for list scheduling and partition decoding."""
+
+import pytest
+
+from repro.baselines.list_scheduler import decode_partition, list_schedule_software
+from repro.errors import MappingError
+from repro.mapping.evaluator import Evaluator
+
+
+class TestListSchedule:
+    def test_topological_restriction(self, small_app):
+        order = list_schedule_software(small_app, [0, 1, 2, 3, 4, 5])
+        pos = {t: i for i, t in enumerate(order)}
+        for src, dst, _ in small_app.dependencies():
+            assert pos[src] < pos[dst]
+
+    def test_subset_only(self, small_app):
+        order = list_schedule_software(small_app, [0, 4, 5])
+        assert order == [0, 4, 5]
+
+    def test_critical_branch_scheduled_first(self, small_app):
+        # 1 (6 ms) is on the longer branch than 2 (4 ms)
+        order = list_schedule_software(small_app, [0, 1, 2, 3, 4, 5])
+        assert order.index(1) < order.index(2)
+
+    def test_unknown_task_rejected(self, small_app):
+        with pytest.raises(MappingError):
+            list_schedule_software(small_app, [0, 99])
+
+
+class TestDecodePartition:
+    def test_all_software(self, small_app, small_arch):
+        solution = decode_partition(small_app, small_arch, hw_tasks=[])
+        solution.validate()
+        assert solution.hardware_tasks() == []
+        ev = Evaluator(small_app, small_arch).evaluate(solution)
+        assert ev.feasible
+        assert ev.makespan_ms == pytest.approx(21.0)
+
+    def test_hw_subset_with_impl_choices(self, small_app, small_arch):
+        solution = decode_partition(
+            small_app, small_arch, hw_tasks=[1, 3], impl_choice={1: 1}
+        )
+        solution.validate()
+        assert sorted(solution.hardware_tasks()) == [1, 3]
+        assert solution.task_clbs(1) == 200
+        ev = Evaluator(small_app, small_arch).evaluate(solution)
+        assert ev.feasible
+
+    def test_capacity_forces_two_contexts(self, small_app, small_arch):
+        solution = decode_partition(
+            small_app, small_arch,
+            hw_tasks=[1, 2, 3],
+            impl_choice={1: 1, 2: 1},  # 200 + 160 > 300
+        )
+        assert solution.num_contexts("fpga") == 2
+        ev = Evaluator(small_app, small_arch).evaluate(solution)
+        assert ev.feasible
+
+    def test_software_only_task_rejected(self, small_app, small_arch):
+        with pytest.raises(MappingError):
+            decode_partition(small_app, small_arch, hw_tasks=[0])
+
+    def test_duplicate_hw_tasks_deduped(self, small_app, small_arch):
+        solution = decode_partition(small_app, small_arch, hw_tasks=[1, 1])
+        assert solution.hardware_tasks() == [1]

@@ -1,0 +1,91 @@
+"""Tests for tabu search, hill climbing and random search."""
+
+import random
+
+import pytest
+
+from repro.baselines.hill_climber import HillClimber
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.tabu import TabuConfig, TabuSearch
+from repro.errors import ConfigurationError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import random_initial_solution
+from repro.sa.moves import MoveGenerator
+
+
+class TestTabu:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TabuConfig(iterations=0).validate()
+        with pytest.raises(ConfigurationError):
+            TabuConfig(candidates_per_iteration=0).validate()
+        with pytest.raises(ConfigurationError):
+            TabuConfig(tabu_tenure=-1).validate()
+
+    def test_improves_and_stays_consistent(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        generator = MoveGenerator(small_app, p_impl=0.2, p_offload=0.2)
+        search = TabuSearch(
+            evaluator, generator,
+            TabuConfig(iterations=150, candidates_per_iteration=4, seed=2),
+        )
+        initial = random_initial_solution(
+            small_app, small_arch, random.Random(2)
+        )
+        initial_cost = evaluator.makespan_ms(initial)
+        result = search.run(initial)
+        assert result.best_cost <= initial_cost
+        result.best_solution.validate()
+        assert evaluator.evaluate(result.best_solution).makespan_ms == (
+            pytest.approx(result.best_cost)
+        )
+
+    def test_history_tracks_iterations(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        generator = MoveGenerator(small_app)
+        search = TabuSearch(
+            evaluator, generator, TabuConfig(iterations=50, seed=1)
+        )
+        initial = random_initial_solution(
+            small_app, small_arch, random.Random(1)
+        )
+        result = search.run(initial)
+        assert len(result.history) == 51
+
+
+class TestHillClimber:
+    def test_monotone_history(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        generator = MoveGenerator(small_app, p_impl=0.2, p_offload=0.2)
+        climber = HillClimber(evaluator, generator, iterations=200, seed=3)
+        initial = random_initial_solution(
+            small_app, small_arch, random.Random(3)
+        )
+        result = climber.run(initial)
+        for a, b in zip(result.history, result.history[1:]):
+            assert b <= a
+        result.best_solution.validate()
+
+    def test_invalid_iterations(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        with pytest.raises(ConfigurationError):
+            HillClimber(evaluator, MoveGenerator(small_app), iterations=0)
+
+
+class TestRandomSearch:
+    def test_best_of_samples(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        search = RandomSearch(
+            small_app, small_arch, evaluator, samples=30, seed=4
+        )
+        result = search.run()
+        assert result.samples == 30
+        assert len(result.history) == 30
+        for a, b in zip(result.history, result.history[1:]):
+            assert b <= a
+        result.best_solution.validate()
+
+    def test_invalid_samples(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        with pytest.raises(ConfigurationError):
+            RandomSearch(small_app, small_arch, evaluator, samples=0)

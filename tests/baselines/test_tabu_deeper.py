@@ -1,0 +1,45 @@
+"""Deeper tabu-search behavior tests (tenure, aspiration, motion run)."""
+
+import random
+
+import pytest
+
+from repro.baselines.tabu import TabuConfig, TabuSearch, _moved_task
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import random_initial_solution
+from repro.sa.moves import ImplementationMove, MoveGenerator, ReorderMove
+
+
+class TestMovedTask:
+    def test_extracts_task_attribute(self):
+        assert _moved_task(ReorderMove(task=3, dest_task=1)) == 3
+        assert _moved_task(ImplementationMove(task=5, new_choice=1)) == 5
+
+
+class TestTenure:
+    def test_zero_tenure_never_blocks(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        generator = MoveGenerator(small_app, p_impl=0.2, p_offload=0.2)
+        search = TabuSearch(
+            evaluator, generator,
+            TabuConfig(iterations=80, tabu_tenure=0, seed=4),
+        )
+        initial = random_initial_solution(
+            small_app, small_arch, random.Random(4)
+        )
+        result = search.run(initial)
+        assert result.best_cost <= result.history[0]
+
+    def test_motion_benchmark_beats_all_software(self, motion_app, epicure):
+        evaluator = Evaluator(motion_app, epicure)
+        generator = MoveGenerator(motion_app, p_impl=0.2, p_offload=0.2)
+        search = TabuSearch(
+            evaluator, generator,
+            TabuConfig(iterations=250, candidates_per_iteration=6, seed=2),
+        )
+        initial = random_initial_solution(
+            motion_app, epicure, random.Random(2)
+        )
+        result = search.run(initial)
+        assert result.best_cost < motion_app.total_sw_time_ms()
+        result.best_solution.validate()

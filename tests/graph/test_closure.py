@@ -1,0 +1,158 @@
+"""Unit and property tests for the incremental path-count closure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CycleError, GraphError
+from repro.graph.closure import PathCountClosure
+from repro.graph.dag import Dag
+from repro.graph.generators import random_dag
+
+
+class TestBasics:
+    def test_empty(self):
+        closure = PathCountClosure()
+        assert len(closure) == 0
+
+    def test_single_edge(self):
+        closure = PathCountClosure([0, 1])
+        closure.add_edge(0, 1)
+        assert closure.has_path(0, 1)
+        assert not closure.has_path(1, 0)
+        assert closure.path_count(0, 1) == 1
+
+    def test_diamond_counts_two_paths(self):
+        closure = PathCountClosure(range(4))
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            closure.add_edge(a, b)
+        assert closure.path_count(0, 3) == 2
+        assert closure.path_count(0, 1) == 1
+
+    def test_duplicate_node_rejected(self):
+        closure = PathCountClosure([0])
+        with pytest.raises(GraphError):
+            closure.add_node(0)
+
+    def test_untracked_node_rejected(self):
+        closure = PathCountClosure([0])
+        with pytest.raises(GraphError):
+            closure.add_edge(0, 7)
+
+    def test_duplicate_edge_rejected(self):
+        closure = PathCountClosure([0, 1])
+        closure.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            closure.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        closure = PathCountClosure([0])
+        with pytest.raises(GraphError):
+            closure.add_edge(0, 0)
+
+
+class TestCycleDetection:
+    def test_would_create_cycle(self):
+        closure = PathCountClosure([0, 1, 2])
+        closure.add_edge(0, 1)
+        closure.add_edge(1, 2)
+        assert closure.would_create_cycle(2, 0)
+        assert closure.would_create_cycle(0, 0)
+        assert not closure.would_create_cycle(0, 2)
+
+    def test_add_cycle_edge_raises(self):
+        closure = PathCountClosure([0, 1])
+        closure.add_edge(0, 1)
+        with pytest.raises(CycleError):
+            closure.add_edge(1, 0)
+
+    def test_cycle_after_removal_allowed(self):
+        closure = PathCountClosure([0, 1])
+        closure.add_edge(0, 1)
+        closure.remove_edge(0, 1)
+        closure.add_edge(1, 0)  # fine now
+        assert closure.has_path(1, 0)
+
+
+class TestRemoval:
+    def test_remove_edge_restores_counts(self):
+        closure = PathCountClosure(range(4))
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            closure.add_edge(a, b)
+        closure.remove_edge(1, 3)
+        assert closure.path_count(0, 3) == 1
+        closure.self_check()
+
+    def test_remove_missing_edge(self):
+        closure = PathCountClosure([0, 1])
+        with pytest.raises(GraphError):
+            closure.remove_edge(0, 1)
+
+    def test_remove_node_requires_no_edges(self):
+        closure = PathCountClosure([0, 1])
+        closure.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            closure.remove_node(0)
+        closure.remove_edge(0, 1)
+        closure.remove_node(0)
+        assert 0 not in closure
+
+    def test_slot_reuse(self):
+        closure = PathCountClosure([0, 1])
+        closure.remove_node(0)
+        closure.add_node(2)
+        closure.add_edge(1, 2)
+        assert closure.has_path(1, 2)
+        closure.self_check()
+
+
+class TestAgainstReference:
+    def test_random_insert_delete_sequences(self):
+        rng = random.Random(7)
+        for trial in range(10):
+            n = rng.randint(3, 10)
+            closure = PathCountClosure(range(n))
+            live = []
+            for _ in range(60):
+                if live and rng.random() < 0.35:
+                    edge = live.pop(rng.randrange(len(live)))
+                    closure.remove_edge(*edge)
+                else:
+                    a, b = rng.randrange(n), rng.randrange(n)
+                    if a == b or closure.has_edge(a, b):
+                        continue
+                    try:
+                        closure.add_edge(a, b)
+                        live.append((a, b))
+                    except CycleError:
+                        pass
+            closure.self_check()
+
+    def test_from_dag_matches_reachability(self):
+        dag = random_dag(12, edge_probability=0.3, seed=3)
+        closure = PathCountClosure.from_dag(dag)
+        for a in dag.nodes():
+            for b in dag.nodes():
+                if a != b:
+                    assert closure.has_path(a, b) == dag.has_path(a, b)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=30
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_incremental_matches_recount(edges):
+    """After any feasible insert sequence the incremental counts match a
+    from-scratch recount (hypothesis-generated edge streams)."""
+    closure = PathCountClosure(range(8))
+    for a, b in edges:
+        if a == b or closure.has_edge(a, b):
+            continue
+        try:
+            closure.add_edge(a, b)
+        except CycleError:
+            continue
+    closure.self_check()

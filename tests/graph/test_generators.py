@@ -1,0 +1,104 @@
+"""Tests for the DAG generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+
+
+class TestChain:
+    def test_shape(self):
+        dag = gen.chain(5)
+        assert len(dag) == 5
+        assert dag.num_edges() == 4
+        assert dag.sources() == [0]
+        assert dag.sinks() == [4]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            gen.chain(0)
+
+
+class TestForkJoin:
+    def test_shape(self):
+        dag = gen.fork_join(3)
+        assert len(dag) == 5
+        assert dag.out_degree(0) == 3
+        assert dag.in_degree(4) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            gen.fork_join(0)
+
+
+class TestLayered:
+    def test_connectivity(self):
+        dag = gen.layered(4, 3, edge_probability=0.0, seed=1)
+        assert len(dag) == 12
+        # every non-first-layer node has at least one predecessor
+        for node in range(3, 12):
+            assert dag.in_degree(node) >= 1
+        assert dag.is_acyclic()
+
+    def test_determinism(self):
+        a = gen.layered(3, 4, 0.5, seed=9)
+        b = gen.layered(3, 4, 0.5, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            gen.layered(2, 2, edge_probability=1.5)
+
+
+class TestRandomDag:
+    def test_acyclic_and_deterministic(self):
+        a = gen.random_dag(15, 0.3, seed=2)
+        b = gen.random_dag(15, 0.3, seed=2)
+        assert a.is_acyclic()
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_dense_is_complete_order(self):
+        dag = gen.random_dag(6, 1.0, seed=0)
+        assert dag.num_edges() == 15  # C(6,2)
+
+
+class TestSeriesParallel:
+    def test_two_terminal(self):
+        dag = gen.series_parallel(12, seed=4)
+        assert len(dag) == 12
+        assert dag.is_acyclic()
+        assert dag.sources() == [0]
+        assert dag.sinks() == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            gen.series_parallel(1)
+
+
+class TestTgffLike:
+    def test_shape(self):
+        dag = gen.tgff_like(20, seed=3)
+        assert len(dag) == 20
+        assert dag.is_acyclic()
+        for node in dag.nodes():
+            assert dag.in_degree(node) <= 2
+
+    def test_out_degree_bound(self):
+        dag = gen.tgff_like(30, max_out_degree=2, seed=6)
+        for node in dag.nodes():
+            assert dag.out_degree(node) <= 2
+
+
+class TestParallelChains:
+    def test_chains_with_ids(self):
+        dag, chains = gen.parallel_chains_with_ids([3, 2, 1])
+        assert len(dag) == 6
+        assert chains == [[0, 1, 2], [3, 4], [5]]
+        assert dag.num_edges() == 3
+        assert dag.is_acyclic()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            gen.parallel_chains([])
+        with pytest.raises(ConfigurationError):
+            gen.parallel_chains([2, 0])

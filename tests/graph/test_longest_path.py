@@ -1,0 +1,148 @@
+"""Tests for the topological longest-path DP."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.graph.dag import Dag
+from repro.graph.longest_path import (
+    bottom_levels,
+    critical_path,
+    earliest_start_times,
+    latest_start_times,
+    longest_path_length,
+)
+
+
+def weighted(dag_weights):
+    """node_weight callable from a dict."""
+    return lambda n: dag_weights.get(n, 0.0)
+
+
+class TestLongestPath:
+    def test_empty_graph(self):
+        assert longest_path_length(Dag()) == 0.0
+
+    def test_single_node(self):
+        dag = Dag()
+        dag.add_node("a")
+        assert longest_path_length(dag, weighted({"a": 4.0})) == 4.0
+
+    def test_chain_edge_weights(self):
+        dag = Dag()
+        dag.add_edge(0, 1, 2.0)
+        dag.add_edge(1, 2, 3.0)
+        assert longest_path_length(dag) == 5.0
+
+    def test_chain_node_weights(self):
+        dag = Dag()
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        w = weighted({0: 1.0, 1: 2.0, 2: 4.0})
+        assert longest_path_length(dag, w) == 7.0
+
+    def test_diamond_takes_heavier_branch(self):
+        dag = Dag()
+        dag.add_edge("s", "a", 1.0)
+        dag.add_edge("s", "b", 5.0)
+        dag.add_edge("a", "t", 1.0)
+        dag.add_edge("b", "t", 1.0)
+        assert longest_path_length(dag) == 6.0
+
+    def test_mixed_node_and_edge_weights(self):
+        dag = Dag()
+        dag.add_edge("s", "t", 2.0)
+        w = weighted({"s": 3.0, "t": 4.0})
+        # start(t) = 0 + 3 + 2 = 5; finish(t) = 9
+        assert longest_path_length(dag, w) == 9.0
+
+    def test_cycle_raises(self):
+        dag = Dag()
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 0)
+        with pytest.raises(CycleError):
+            longest_path_length(dag)
+
+
+class TestStartTimes:
+    def test_earliest_starts(self):
+        dag = Dag()
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        dag.add_edge(1, 3)
+        dag.add_edge(2, 3)
+        w = weighted({0: 1.0, 1: 5.0, 2: 2.0, 3: 1.0})
+        start = earliest_start_times(dag, w)
+        assert start[0] == 0.0
+        assert start[1] == 1.0
+        assert start[2] == 1.0
+        assert start[3] == 6.0  # waits for the slow branch
+
+    def test_latest_starts_respect_deadline(self):
+        dag = Dag()
+        dag.add_edge(0, 1)
+        w = weighted({0: 2.0, 1: 3.0})
+        makespan = longest_path_length(dag, w)
+        late = latest_start_times(dag, makespan, w)
+        early = earliest_start_times(dag, w)
+        for node in (0, 1):
+            assert late[node] >= early[node] - 1e-12
+        # The chain is fully critical: slack must be zero.
+        assert late[0] == pytest.approx(early[0])
+        assert late[1] == pytest.approx(early[1])
+
+    def test_slack_appears_off_critical_path(self):
+        dag = Dag()
+        dag.add_edge("s", "fast", 0.0)
+        dag.add_edge("s", "slow", 0.0)
+        dag.add_edge("fast", "t", 0.0)
+        dag.add_edge("slow", "t", 0.0)
+        w = weighted({"s": 1.0, "fast": 1.0, "slow": 6.0, "t": 1.0})
+        makespan = longest_path_length(dag, w)
+        late = latest_start_times(dag, makespan, w)
+        early = earliest_start_times(dag, w)
+        assert late["fast"] - early["fast"] == pytest.approx(5.0)
+        assert late["slow"] - early["slow"] == pytest.approx(0.0)
+
+
+class TestCriticalPath:
+    def test_witness_path(self):
+        dag = Dag()
+        dag.add_edge("s", "a", 1.0)
+        dag.add_edge("s", "b", 5.0)
+        dag.add_edge("a", "t", 1.0)
+        dag.add_edge("b", "t", 1.0)
+        length, path = critical_path(dag)
+        assert length == 6.0
+        assert path == ["s", "b", "t"]
+
+    def test_empty(self):
+        assert critical_path(Dag()) == (0.0, [])
+
+    def test_node_weight_witness(self):
+        dag = Dag()
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        w = weighted({0: 1.0, 1: 10.0, 2: 2.0})
+        length, path = critical_path(dag, w)
+        assert length == 11.0
+        assert path == [0, 1]
+
+
+class TestBottomLevels:
+    def test_chain(self):
+        dag = Dag()
+        dag.add_edge(0, 1, 1.0)
+        dag.add_edge(1, 2, 1.0)
+        w = weighted({0: 2.0, 1: 3.0, 2: 4.0})
+        levels = bottom_levels(dag, w)
+        assert levels[2] == 4.0
+        assert levels[1] == 3.0 + 1.0 + 4.0
+        assert levels[0] == 2.0 + 1.0 + levels[1]
+
+    def test_priority_orders_critical_first(self):
+        dag = Dag()
+        dag.add_edge("s", "heavy")
+        dag.add_edge("s", "light")
+        w = weighted({"s": 1.0, "heavy": 9.0, "light": 1.0})
+        levels = bottom_levels(dag, w)
+        assert levels["heavy"] > levels["light"]

@@ -1,0 +1,141 @@
+"""Tests for the max-plus closure (incremental Woodbury-style updates)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CycleError, GraphError
+from repro.graph.dag import Dag
+from repro.graph.generators import random_dag
+from repro.graph.longest_path import longest_path_length
+from repro.graph.maxplus import NEG_INF, MaxPlusClosure
+
+
+class TestBasics:
+    def test_empty_distance(self):
+        closure = MaxPlusClosure([0, 1])
+        assert closure.distance(0, 1) == NEG_INF
+        assert closure.distance(0, 0) == 0.0
+
+    def test_single_edge(self):
+        closure = MaxPlusClosure([0, 1])
+        closure.add_edge(0, 1, 3.0)
+        assert closure.distance(0, 1) == 3.0
+        assert closure.longest_path_length() == 3.0
+
+    def test_diamond_takes_max(self):
+        closure = MaxPlusClosure(range(4))
+        closure.add_edge(0, 1, 1.0)
+        closure.add_edge(0, 2, 5.0)
+        closure.add_edge(1, 3, 1.0)
+        closure.add_edge(2, 3, 1.0)
+        assert closure.distance(0, 3) == 6.0
+
+    def test_cycle_rejected(self):
+        closure = MaxPlusClosure([0, 1])
+        closure.add_edge(0, 1, 1.0)
+        with pytest.raises(CycleError):
+            closure.add_edge(1, 0, 1.0)
+
+    def test_duplicate_edge_rejected(self):
+        closure = MaxPlusClosure([0, 1])
+        closure.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            closure.add_edge(0, 1, 2.0)
+
+
+class TestIncrementalUpdates:
+    def test_insert_matches_recompute(self):
+        rng = random.Random(5)
+        closure = MaxPlusClosure(range(10))
+        for _ in range(40):
+            a, b = rng.randrange(10), rng.randrange(10)
+            if a == b:
+                continue
+            try:
+                closure.add_edge(a, b, rng.uniform(0.5, 3.0))
+            except (CycleError, GraphError):
+                continue
+        closure.self_check()
+
+    def test_weight_increase(self):
+        closure = MaxPlusClosure([0, 1, 2])
+        closure.add_edge(0, 1, 1.0)
+        closure.add_edge(1, 2, 1.0)
+        closure.increase_edge_weight(0, 1, 4.0)
+        assert closure.distance(0, 2) == 5.0
+        closure.self_check()
+
+    def test_weight_decrease_goes_lazy(self):
+        closure = MaxPlusClosure([0, 1])
+        closure.add_edge(0, 1, 5.0)
+        closure.set_edge_weight(0, 1, 1.0)
+        assert closure.is_dirty
+        assert closure.distance(0, 1) == 1.0  # recomputed on query
+        assert not closure.is_dirty
+
+    def test_removal_goes_lazy(self):
+        closure = MaxPlusClosure(range(4))
+        closure.add_edge(0, 1, 1.0)
+        closure.add_edge(0, 2, 5.0)
+        closure.add_edge(1, 3, 1.0)
+        closure.add_edge(2, 3, 1.0)
+        closure.remove_edge(0, 2)
+        assert closure.is_dirty
+        assert closure.distance(0, 3) == 2.0
+
+    def test_increase_on_missing_edge(self):
+        closure = MaxPlusClosure([0, 1])
+        with pytest.raises(GraphError):
+            closure.increase_edge_weight(0, 1, 2.0)
+
+    def test_decrease_via_increase_api_rejected(self):
+        closure = MaxPlusClosure([0, 1])
+        closure.add_edge(0, 1, 5.0)
+        with pytest.raises(GraphError):
+            closure.increase_edge_weight(0, 1, 1.0)
+
+
+class TestAgainstLongestPath:
+    def test_matches_dp_on_random_dags(self):
+        for seed in range(5):
+            dag = random_dag(12, edge_probability=0.25, seed=seed)
+            rng = random.Random(seed)
+            for src, dst, _ in list(dag.edges()):
+                dag.set_edge_weight(src, dst, rng.uniform(0.1, 4.0))
+            closure = MaxPlusClosure.from_dag(dag)
+            assert closure.longest_path_length() == pytest.approx(
+                longest_path_length(dag)
+            )
+
+    def test_pairwise_against_brute_force(self):
+        dag = Dag()
+        dag.add_edge("a", "b", 2.0)
+        dag.add_edge("b", "c", 3.0)
+        dag.add_edge("a", "c", 4.0)
+        closure = MaxPlusClosure.from_dag(dag)
+        assert closure.distance("a", "c") == 5.0  # through b beats direct
+
+
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 6),
+            st.integers(0, 6),
+            st.floats(0.0, 10.0, allow_nan=False),
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_incremental_insertions_match_recompute(edges):
+    closure = MaxPlusClosure(range(7))
+    for a, b, w in edges:
+        if a == b:
+            continue
+        try:
+            closure.add_edge(a, b, w)
+        except (CycleError, GraphError):
+            continue
+    closure.self_check()

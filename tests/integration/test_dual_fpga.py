@@ -1,0 +1,80 @@
+"""Two reconfigurable circuits — the paper's "at least one RC"."""
+
+import random
+
+import pytest
+
+from repro.arch.architecture import Architecture
+from repro.arch.bus import Bus
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import ReconfigurableCircuit
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.simulator import simulate
+from repro.mapping.solution import Solution, random_initial_solution
+from repro.model.motion import motion_detection_application
+from repro.sa.explorer import DesignSpaceExplorer
+
+
+def dual_fpga_arch():
+    arch = Architecture("dual_fpga", bus=Bus(rate_kbytes_per_ms=50.0))
+    arch.add_resource(Processor("arm922"))
+    arch.add_resource(
+        ReconfigurableCircuit("fpga_a", n_clbs=600, reconfig_ms_per_clb=0.0225)
+    )
+    arch.add_resource(
+        ReconfigurableCircuit("fpga_b", n_clbs=600, reconfig_ms_per_clb=0.0225)
+    )
+    return arch
+
+
+class TestDualFpga:
+    def test_random_solutions_feasible(self):
+        app = motion_detection_application()
+        arch = dual_fpga_arch()
+        evaluator = Evaluator(app, arch)
+        for seed in range(8):
+            solution = random_initial_solution(app, arch, random.Random(seed))
+            solution.validate()
+            ev = evaluator.evaluate(solution)
+            assert ev.feasible
+
+    def test_each_device_gets_its_own_config_node(self):
+        app = motion_detection_application()
+        arch = dual_fpga_arch()
+        solution = Solution(app, arch)
+        order = app.topological_order()
+        hw = [t for t in order if app.task(t).hardware_capable]
+        for t in order:
+            if t == hw[0]:
+                solution.spawn_context(t, "fpga_a")
+            elif t == hw[1]:
+                solution.spawn_context(t, "fpga_b")
+            else:
+                solution.assign_to_processor(t, "arm922")
+        evaluator = Evaluator(app, arch)
+        graph = evaluator.realize(solution)
+        config_rcs = {node[1] for node in graph.config_nodes}
+        assert config_rcs == {"fpga_a", "fpga_b"}
+        # independent devices: contexts on different RCs may overlap,
+        # and the simulator still agrees with the longest path
+        assert simulate(solution, graph).makespan_ms == pytest.approx(
+            graph.makespan_ms()
+        )
+
+    def test_exploration_can_use_both_devices(self):
+        app = motion_detection_application()
+        arch = dual_fpga_arch()
+        explorer = DesignSpaceExplorer(
+            app, arch, iterations=4000, warmup_iterations=700, seed=5,
+            keep_trace=False,
+        )
+        result = explorer.run()
+        ev = result.best_evaluation
+        assert ev.feasible
+        assert ev.makespan_ms < app.total_sw_time_ms()
+        used = [
+            rc.name
+            for rc in arch.reconfigurable_circuits()
+            if result.best_solution.contexts(rc.name)
+        ]
+        assert used, "at least one device must end up used"

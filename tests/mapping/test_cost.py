@@ -1,0 +1,38 @@
+"""Tests for cost functions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapping.cost import MakespanCost, SystemCost
+from repro.mapping.evaluator import Evaluator
+
+
+class TestMakespanCost:
+    def test_is_makespan(self, small_app, small_arch, small_solution):
+        ev = Evaluator(small_app, small_arch).evaluate(small_solution)
+        assert MakespanCost()(small_solution, ev) == ev.makespan_ms
+
+
+class TestSystemCost:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemCost(deadline_ms=0)
+        with pytest.raises(ConfigurationError):
+            SystemCost(deadline_ms=10, penalty_per_ms=0)
+
+    def test_no_penalty_when_meeting_deadline(
+        self, small_app, small_arch, small_solution
+    ):
+        ev = Evaluator(small_app, small_arch).evaluate(small_solution)
+        cost = SystemCost(deadline_ms=1000.0)(small_solution, ev)
+        assert cost == pytest.approx(small_arch.total_monetary_cost())
+
+    def test_penalty_scales_with_lateness(
+        self, small_app, small_arch, small_solution
+    ):
+        ev = Evaluator(small_app, small_arch).evaluate(small_solution)
+        base = small_arch.total_monetary_cost()
+        cost = SystemCost(deadline_ms=ev.makespan_ms - 2.0, penalty_per_ms=10.0)(
+            small_solution, ev
+        )
+        assert cost == pytest.approx(base + 20.0)

@@ -1,0 +1,161 @@
+"""Evaluator tests with hand-computed makespans.
+
+The small_app/small_arch fixture numbers (see conftest): software times
+2, 6, 4, 5, 3, 1 ms; hw impl0 of tasks 1/2/3 = (100 CLB, 1.0 ms),
+(80, 0.8), (120, 1.2); bus 10 KB/ms; t_R = 0.01 ms/CLB.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import CycleError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import Solution
+
+
+def all_software(small_app, small_arch):
+    s = Solution(small_app, small_arch)
+    for t in small_app.topological_order():
+        s.assign_to_processor(t, "cpu")
+    return s
+
+
+class TestAllSoftware:
+    def test_makespan_is_serialized_sum(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        ev = evaluator.evaluate(all_software(small_app, small_arch))
+        assert ev.makespan_ms == pytest.approx(21.0)
+        assert ev.feasible
+        assert ev.num_contexts == 0
+        assert ev.comm_ms == 0.0
+        assert ev.hw_tasks == 0 and ev.sw_tasks == 6
+        assert ev.reconfig_ms == 0.0
+
+
+class TestSingleHardwareTask:
+    def test_hand_computed_makespan(self, small_app, small_arch):
+        """Task 1 on the FPGA: see module docstring for the timeline.
+
+        cpu order [0,2,3,4,5]; comm 0->1 (1.0 ms) and 1->3 (0.5 ms);
+        config 1.0 ms.  Expected makespan 15.0 ms.
+        """
+        s = Solution(small_app, small_arch)
+        for t in (0, 2, 3, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        evaluator = Evaluator(small_app, small_arch)
+        ev = evaluator.evaluate(s)
+        assert ev.makespan_ms == pytest.approx(15.0)
+        assert ev.initial_reconfig_ms == pytest.approx(1.0)
+        assert ev.dynamic_reconfig_ms == 0.0
+        assert ev.comm_ms == pytest.approx(1.5)
+        assert ev.num_contexts == 1
+        assert ev.clbs_used == 100
+
+
+class TestFullHardwareContext:
+    def make(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        for t in (0, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        s.assign_to_context(2, "fpga", 0)
+        s.assign_to_context(3, "fpga", 0)  # 300 CLBs exactly
+        return s
+
+    def test_ordered_bus_serializes_transfers(self, small_app, small_arch):
+        """comm(0,1) and comm(0,2) are both ready at t=2 but must share
+        the bus; hand-computed makespan 10.2 ms (module docstring)."""
+        evaluator = Evaluator(small_app, small_arch, bus_policy="ordered")
+        ev = evaluator.evaluate(self.make(small_app, small_arch))
+        assert ev.makespan_ms == pytest.approx(10.2)
+        assert ev.initial_reconfig_ms == pytest.approx(3.0)
+        assert ev.comm_ms == pytest.approx(1.0 + 1.0 + 0.2)
+
+    def test_edge_bus_allows_parallel_transfers(self, small_app, small_arch):
+        """Without serialization the two transfers overlap: 9.4 ms."""
+        evaluator = Evaluator(small_app, small_arch, bus_policy="edge")
+        ev = evaluator.evaluate(self.make(small_app, small_arch))
+        assert ev.makespan_ms == pytest.approx(9.4)
+
+    def test_ordered_never_faster_than_edge(self, small_app, small_arch):
+        s = self.make(small_app, small_arch)
+        ordered = Evaluator(small_app, small_arch, "ordered").evaluate(s)
+        edge = Evaluator(small_app, small_arch, "edge").evaluate(s)
+        assert ordered.makespan_ms >= edge.makespan_ms - 1e-9
+
+
+class TestTwoContexts:
+    def test_dynamic_reconfig_on_critical_path(self, small_app, small_arch):
+        """Tasks 1 (ctx0) and 3 (ctx1): the Ehw edge delays ctx1 by
+        t_R * 120 = 1.2 ms after task 1 finishes."""
+        s = Solution(small_app, small_arch)
+        for t in (0, 2, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        s.spawn_context(3, "fpga")
+        evaluator = Evaluator(small_app, small_arch)
+        ev = evaluator.evaluate(s)
+        assert ev.num_contexts == 2
+        assert ev.initial_reconfig_ms == pytest.approx(1.0)
+        assert ev.dynamic_reconfig_ms == pytest.approx(1.2)
+        # cpu: 0 (0..2), 2 (2..6); comm(0,1): 2..3; task1: 3..4
+        # ctx switch: 4..5.2; comm(2,3): 6..6.5; task3 start:
+        # max(5.2, 6.5, comm(1,3)=4..4.5 -> 4.5) = 6.5 .. 7.7
+        # comm(3,4): 7.7..7.9; task4: 7.9..10.9; task5: 10.9..11.9
+        assert ev.makespan_ms == pytest.approx(11.9)
+
+
+class TestInfeasibleRealizations:
+    def test_context_order_against_precedence_is_cyclic(
+        self, small_app, small_arch
+    ):
+        s = Solution(small_app, small_arch)
+        for t in (0, 2, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(3, "fpga")       # context 0 holds the successor
+        s.spawn_context(1, "fpga")       # context 1 holds its predecessor
+        evaluator = Evaluator(small_app, small_arch)
+        ev = evaluator.evaluate(s)
+        assert not ev.feasible
+        assert math.isinf(ev.makespan_ms)
+        with pytest.raises(CycleError):
+            evaluator.evaluate(s, strict=True)
+
+    def test_bad_software_order_is_cyclic(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        # order 1 before 0 violates 0 -> 1
+        s.assign_to_processor(1, "cpu")
+        s.assign_to_processor(0, "cpu")
+        for t in (2, 3, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        ev = Evaluator(small_app, small_arch).evaluate(s)
+        assert not ev.feasible
+
+
+class TestEvaluationBookkeeping:
+    def test_evaluation_counter(self, small_app, small_arch, small_solution):
+        evaluator = Evaluator(small_app, small_arch)
+        evaluator.evaluate(small_solution)
+        evaluator.makespan_ms(small_solution)
+        assert evaluator.evaluations == 2
+
+    def test_meets_deadline(self, small_app, small_arch, small_solution):
+        ev = Evaluator(small_app, small_arch).evaluate(small_solution)
+        assert ev.meets(21.0)
+        assert not ev.meets(20.9)
+
+    def test_impl_choice_changes_makespan(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        for t in (0, 2, 3, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        base = Evaluator(small_app, small_arch).evaluate(s)
+        s.set_implementation_choice(1, 1)  # 200 CLBs, 0.5 ms
+        faster = Evaluator(small_app, small_arch).evaluate(s)
+        # bigger impl: more reconfig (2.0) but still hidden under sw;
+        # makespan driven by comm, not compute here
+        assert faster.initial_reconfig_ms == pytest.approx(2.0)
+        assert faster.clbs_used == 200
+        assert base.clbs_used == 100

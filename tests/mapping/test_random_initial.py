@@ -1,0 +1,68 @@
+"""Tests for the paper's random initial solution generator."""
+
+import random
+
+import pytest
+
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import random_initial_solution
+
+
+class TestFeasibility:
+    def test_always_valid_and_acyclic(self, motion_app, epicure):
+        evaluator = Evaluator(motion_app, epicure)
+        for seed in range(20):
+            rng = random.Random(seed)
+            solution = random_initial_solution(motion_app, epicure, rng)
+            solution.validate()
+            ev = evaluator.evaluate(solution)
+            assert ev.feasible, f"seed {seed} produced a cyclic realization"
+
+    def test_small_app(self, small_app, small_arch):
+        evaluator = Evaluator(small_app, small_arch)
+        for seed in range(20):
+            solution = random_initial_solution(
+                small_app, small_arch, random.Random(seed)
+            )
+            solution.validate()
+            assert evaluator.evaluate(solution).feasible
+
+
+class TestHwFraction:
+    def test_zero_fraction_is_all_software(self, motion_app, epicure):
+        solution = random_initial_solution(
+            motion_app, epicure, random.Random(1), hw_fraction=0.0
+        )
+        assert solution.hardware_tasks() == []
+
+    def test_full_fraction_offloads_all_capable(self, motion_app, epicure):
+        solution = random_initial_solution(
+            motion_app, epicure, random.Random(1), hw_fraction=1.0
+        )
+        capable = {t.index for t in motion_app.hardware_capable_tasks()}
+        assert set(solution.hardware_tasks()) == capable
+
+    def test_software_only_tasks_never_offloaded(self, motion_app, epicure):
+        solution = random_initial_solution(
+            motion_app, epicure, random.Random(2), hw_fraction=1.0
+        )
+        for t in solution.hardware_tasks():
+            assert motion_app.task(t).hardware_capable
+
+
+class TestContextPacking:
+    def test_contexts_respect_capacity(self, motion_app):
+        from repro.arch.architecture import epicure_architecture
+
+        arch = epicure_architecture(n_clbs=150)  # tight device
+        for seed in range(10):
+            solution = random_initial_solution(
+                motion_app, arch, random.Random(seed), hw_fraction=1.0
+            )
+            solution.validate()  # validates capacity per context
+
+    def test_determinism_per_seed(self, motion_app, epicure):
+        a = random_initial_solution(motion_app, epicure, random.Random(9))
+        b = random_initial_solution(motion_app, epicure, random.Random(9))
+        assert a.software_tasks() == b.software_tasks()
+        assert a.hardware_tasks() == b.hardware_tasks()

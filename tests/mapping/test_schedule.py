@@ -1,0 +1,85 @@
+"""Tests for schedule extraction and Gantt rendering."""
+
+import pytest
+
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.gantt import render_gantt
+from repro.mapping.schedule import Schedule, ScheduleEntry, extract_schedule
+from repro.mapping.solution import Solution
+
+
+def build(small_app, small_arch):
+    s = Solution(small_app, small_arch)
+    for t in (0, 4, 5):
+        s.assign_to_processor(t, "cpu")
+    s.spawn_context(1, "fpga")
+    s.assign_to_context(2, "fpga", 0)
+    s.spawn_context(3, "fpga")
+    evaluator = Evaluator(small_app, small_arch)
+    graph = evaluator.realize(s)
+    return s, graph, extract_schedule(s, graph)
+
+
+class TestExtraction:
+    def test_entry_count(self, small_app, small_arch):
+        _, graph, schedule = build(small_app, small_arch)
+        tasks = [e for e in schedule.entries if e.kind == "task"]
+        comms = [e for e in schedule.entries if e.kind == "comm"]
+        reconfigs = [e for e in schedule.entries if e.kind == "reconfig"]
+        assert len(tasks) == 6
+        assert len(comms) == 3
+        assert len(reconfigs) == 2  # initial + one dynamic
+
+    def test_rows(self, small_app, small_arch):
+        _, _, schedule = build(small_app, small_arch)
+        rows = set(schedule.rows())
+        assert "cpu" in rows
+        assert "bus" in rows
+        assert "fpga/ctx0" in rows and "fpga/ctx1" in rows
+        assert "fpga/reconfig" in rows
+
+    def test_makespan_matches_graph(self, small_app, small_arch):
+        _, graph, schedule = build(small_app, small_arch)
+        assert schedule.makespan_ms == pytest.approx(graph.makespan_ms())
+
+    def test_no_overlap_on_exclusive_rows(self, small_app, small_arch):
+        _, _, schedule = build(small_app, small_arch)
+        assert schedule.check_no_overlap("cpu")
+        assert schedule.check_no_overlap("bus")
+
+    def test_entries_respect_precedence(self, small_app, small_arch):
+        s, graph, schedule = build(small_app, small_arch)
+        finish = {}
+        start = {}
+        for e in schedule.entries:
+            if e.kind == "task":
+                label = e.label
+                start[label] = e.start_ms
+                finish[label] = e.end_ms
+        app = s.application
+        for src, dst, _ in app.dependencies():
+            assert (
+                start[app.task(dst).name] >= finish[app.task(src).name] - 1e-9
+            )
+
+    def test_overlap_detector(self):
+        schedule = Schedule(
+            entries=[
+                ScheduleEntry(0.0, 2.0, "cpu", "a", "task"),
+                ScheduleEntry(1.0, 3.0, "cpu", "b", "task"),
+            ],
+            makespan_ms=3.0,
+        )
+        assert not schedule.check_no_overlap("cpu")
+
+
+class TestGantt:
+    def test_render_contains_rows_and_makespan(self, small_app, small_arch):
+        _, _, schedule = build(small_app, small_arch)
+        text = render_gantt(schedule, width=60)
+        assert "makespan" in text
+        assert "cpu" in text
+        assert "fpga/ctx0" in text
+
+    def test_empty_schedule(self):
+        assert "empty" in render_gantt(Schedule(entries=[], makespan_ms=0.0))

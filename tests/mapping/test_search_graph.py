@@ -1,0 +1,116 @@
+"""Tests for search-graph construction (Esw/Ehw/comm/config plumbing)."""
+
+import pytest
+
+from repro.arch.reconfigurable import CONFIG_NODE
+from repro.errors import ConfigurationError
+from repro.mapping.search_graph import COMM_NODE, SearchGraphBuilder
+from repro.mapping.solution import Solution
+
+
+def hw_solution(small_app, small_arch):
+    s = Solution(small_app, small_arch)
+    for t in (0, 4, 5):
+        s.assign_to_processor(t, "cpu")
+    s.spawn_context(1, "fpga")
+    s.assign_to_context(2, "fpga", 0)
+    s.spawn_context(3, "fpga")
+    return s
+
+
+class TestBuilder:
+    def test_bad_policy_rejected(self, small_app, small_arch):
+        with pytest.raises(ConfigurationError):
+            SearchGraphBuilder(small_app, small_arch, bus_policy="magic")
+
+    def test_all_software_graph(self, small_app, small_arch, small_solution):
+        graph = SearchGraphBuilder(small_app, small_arch).build(small_solution)
+        # 6 task nodes, no comm, no config
+        assert len(graph.dag) == 6
+        assert graph.comm_nodes == []
+        assert graph.config_nodes == []
+        # Esw chains the five consecutive pairs; all app edges present
+        order = small_solution.software_order("cpu")
+        for a, b in zip(order, order[1:]):
+            assert graph.dag.has_edge(a, b)
+
+    def test_durations_follow_assignment(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        assert graph.duration(0) == pytest.approx(2.0)   # sw time
+        assert graph.duration(1) == pytest.approx(1.0)   # hw impl0
+        assert graph.duration(2) == pytest.approx(0.8)
+
+    def test_comm_nodes_on_crossing_edges_only(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        comm_pairs = {(c[1], c[2]) for c in graph.comm_nodes}
+        # crossing: 0->1, 0->2 (sw->hw) and 3->4 (hw->sw);
+        # 1->3, 2->3 are intra-fpga; 4->5 intra-cpu.
+        assert comm_pairs == {(0, 1), (0, 2), (3, 4)}
+        for comm in graph.comm_nodes:
+            assert graph.duration(comm) > 0.0
+
+    def test_config_node_present_with_duration(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        config = (CONFIG_NODE, "fpga")
+        assert config in graph.config_nodes
+        assert graph.duration(config) == pytest.approx(1.8)  # 180 CLB * 0.01
+
+    def test_context_edge_weight(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        # terminal of ctx0 = {1, 2}; initial of ctx1 = {3};
+        # weight = 120 CLBs * 0.01 = 1.2 (tasks 1->3 and 2->3 are also
+        # app edges, so the heavier context weight must win)
+        assert graph.dag.edge_weight(1, 3) == pytest.approx(1.2)
+        assert graph.dag.edge_weight(2, 3) == pytest.approx(1.2)
+
+    def test_edge_policy_has_no_comm_nodes(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch, "edge").build(s)
+        assert graph.comm_nodes == []
+        assert graph.dag.edge_weight(0, 1) == pytest.approx(1.0)
+
+
+class TestBusSerialization:
+    def test_comm_chain_is_total_order(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        comms = graph.comm_nodes
+        assert len(comms) == 3
+        for a, b in zip(comms, comms[1:]):
+            assert graph.dag.has_edge(a, b)
+
+    def test_serialization_respects_ready_times(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        start = graph.start_times()
+        comms = graph.comm_nodes
+        for a, b in zip(comms, comms[1:]):
+            assert start[a] <= start[b] + 1e-12
+
+    def test_no_bus_overlap(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        start = graph.start_times()
+        spans = sorted(
+            (start[c], start[c] + graph.duration(c)) for c in graph.comm_nodes
+        )
+        for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+            assert s1 >= e0 - 1e-9
+
+
+class TestMakespanInterface:
+    def test_makespan_matches_start_times(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        start = graph.start_times()
+        finish = max(t + graph.duration(n) for n, t in start.items())
+        assert graph.makespan_ms() == pytest.approx(finish)
+
+    def test_total_comm(self, small_app, small_arch):
+        s = hw_solution(small_app, small_arch)
+        graph = SearchGraphBuilder(small_app, small_arch).build(s)
+        assert graph.total_comm_ms() == pytest.approx(1.0 + 1.0 + 0.2)

@@ -1,0 +1,102 @@
+"""Structural property tests on the search-graph builder.
+
+Hypothesis drives random solutions of random applications and checks
+the invariants the realization must always satisfy.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.architecture import Architecture, epicure_architecture
+from repro.arch.bus import Bus
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import CONFIG_NODE, ReconfigurableCircuit
+from repro.errors import CycleError
+from repro.mapping.search_graph import COMM_NODE, SearchGraphBuilder
+from repro.mapping.solution import random_initial_solution
+from repro.model.generator import GeneratorConfig, random_application
+
+
+def build_random(seed):
+    app = random_application(
+        GeneratorConfig(num_tasks=14, software_only_fraction=0.3),
+        seed=seed % 7,
+    )
+    arch = Architecture("prop", bus=Bus(rate_kbytes_per_ms=25.0))
+    arch.add_resource(Processor("cpu"))
+    arch.add_resource(
+        ReconfigurableCircuit("fpga", n_clbs=400, reconfig_ms_per_clb=0.01)
+    )
+    solution = random_initial_solution(app, arch, random.Random(seed))
+    graph = SearchGraphBuilder(app, arch).build(solution)
+    return app, arch, solution, graph
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=40, deadline=None)
+def test_property_node_inventory(seed):
+    """Task nodes all present; one comm node per crossing data edge;
+    one config node iff the DRLC is used."""
+    app, arch, solution, graph = build_random(seed)
+    for t in app.task_indices():
+        assert t in graph.dag
+    expected_comms = set()
+    for src, dst, kbytes in app.dependencies():
+        crossing = (
+            solution.resource_name_of(src) != solution.resource_name_of(dst)
+        )
+        if crossing and kbytes > 0:
+            expected_comms.add((COMM_NODE, src, dst))
+    assert set(graph.comm_nodes) == expected_comms
+    uses_fpga = bool(solution.contexts("fpga"))
+    assert ((CONFIG_NODE, "fpga") in graph.config_nodes) == uses_fpga
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=40, deadline=None)
+def test_property_durations_nonnegative_and_consistent(seed):
+    app, arch, solution, graph = build_random(seed)
+    for node in graph.dag.nodes():
+        assert graph.duration(node) >= 0.0
+    for t in app.task_indices():
+        where = solution.context_of(t)
+        if where is None:
+            assert graph.duration(t) == pytest.approx(app.task(t).sw_time_ms)
+        else:
+            impl = app.task(t).implementation(
+                solution.implementation_choice(t)
+            )
+            assert graph.duration(t) == pytest.approx(impl.time_ms)
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=40, deadline=None)
+def test_property_context_total_order(seed):
+    """Every node of context k finishes before any node of context k+1
+    starts (the GTLP order of section 3.3)."""
+    app, arch, solution, graph = build_random(seed)
+    contexts = solution.contexts("fpga")
+    if len(contexts) < 2:
+        return
+    start = graph.start_times()
+    for k in range(len(contexts) - 1):
+        latest_end = max(
+            start[t] + graph.duration(t) for t in contexts[k]
+        )
+        earliest_start = min(start[t] for t in contexts[k + 1])
+        assert earliest_start >= latest_end - 1e-9
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=40, deadline=None)
+def test_property_makespan_dominates_every_resource_load(seed):
+    """The makespan is at least the busy time of each resource."""
+    app, arch, solution, graph = build_random(seed)
+    makespan = graph.makespan_ms()
+    sw_load = sum(
+        app.task(t).sw_time_ms for t in solution.software_order("cpu")
+    )
+    assert makespan >= sw_load - 1e-9
+    assert makespan >= graph.total_comm_ms() - 1e-9

@@ -1,0 +1,120 @@
+"""Simulator-vs-evaluator cross-validation.
+
+The event-driven simulator and the longest-path evaluator are two
+independent timing models of the same realization; they must agree on
+every feasible solution.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CycleError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.simulator import ExecutionSimulator, simulate
+from repro.mapping.solution import Solution, random_initial_solution
+from repro.sa.moves import MoveGenerator
+from repro.errors import InfeasibleMoveError
+
+
+def cross_check(app, arch, solution):
+    evaluator = Evaluator(app, arch)
+    graph = evaluator.realize(solution)
+    analytical = graph.makespan_ms()
+    simulated = simulate(solution, graph)
+    assert simulated.makespan_ms == pytest.approx(analytical)
+    return simulated
+
+
+class TestAgreement:
+    def test_all_software(self, small_app, small_arch, small_solution):
+        result = cross_check(small_app, small_arch, small_solution)
+        assert result.makespan_ms == pytest.approx(21.0)
+
+    def test_mixed_mapping(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        for t in (0, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        s.assign_to_context(2, "fpga", 0)
+        s.spawn_context(3, "fpga")
+        result = cross_check(small_app, small_arch, s)
+        assert result.check_exclusive("cpu")
+        assert result.check_exclusive("shared_bus")
+
+    def test_motion_random_solutions(self, motion_app, epicure):
+        for seed in range(10):
+            s = random_initial_solution(
+                motion_app, epicure, random.Random(seed)
+            )
+            cross_check(motion_app, epicure, s)
+
+    def test_agreement_along_an_annealing_walk(self, motion_app, epicure):
+        """Every feasible state visited by a random move walk agrees."""
+        rng = random.Random(11)
+        solution = random_initial_solution(motion_app, epicure, rng)
+        generator = MoveGenerator(motion_app, p_impl=0.2, p_offload=0.2)
+        evaluator = Evaluator(motion_app, epicure)
+        checked = 0
+        for _ in range(120):
+            try:
+                move = generator.propose(solution, rng)
+                move.apply(solution)
+            except InfeasibleMoveError:
+                continue
+            graph = evaluator.realize(solution)
+            try:
+                analytical = graph.makespan_ms()
+            except CycleError:
+                move.undo(solution)
+                continue
+            simulated = simulate(solution, graph)
+            assert simulated.makespan_ms == pytest.approx(analytical)
+            checked += 1
+        assert checked > 30  # the walk must have exercised real states
+
+
+class TestEventLog:
+    def test_events_cover_all_activities(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        for t in (0, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        s.assign_to_context(2, "fpga", 0)
+        s.spawn_context(3, "fpga")
+        evaluator = Evaluator(small_app, small_arch)
+        graph = evaluator.realize(s)
+        result = simulate(s, graph)
+        labels = {e.label for e in result.events}
+        for task in small_app.tasks():
+            assert task.name in labels
+        assert "initial_config" in labels
+
+    def test_cycle_raises(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.assign_to_processor(1, "cpu")  # violates 0 -> 1 order
+        s.assign_to_processor(0, "cpu")
+        for t in (2, 3, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        evaluator = Evaluator(small_app, small_arch)
+        graph = evaluator.realize(s)
+        with pytest.raises(CycleError):
+            ExecutionSimulator(s, graph).run()
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None)
+def test_property_simulator_equals_longest_path(seed):
+    """Random solutions of the motion benchmark: both models agree."""
+    from repro.arch.architecture import epicure_architecture
+    from repro.model.motion import motion_detection_application
+
+    app = motion_detection_application()
+    arch = epicure_architecture(n_clbs=1000)
+    solution = random_initial_solution(app, arch, random.Random(seed))
+    evaluator = Evaluator(app, arch)
+    graph = evaluator.realize(solution)
+    analytical = graph.makespan_ms()
+    simulated = simulate(solution, graph)
+    assert abs(simulated.makespan_ms - analytical) < 1e-9

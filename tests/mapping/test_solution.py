@@ -1,0 +1,150 @@
+"""Tests for the Solution mapping state."""
+
+import pytest
+
+from repro.errors import CapacityError, MappingError
+from repro.mapping.solution import Solution
+
+
+class TestAssignment:
+    def test_assign_to_processor_positions(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.assign_to_processor(0, "cpu")
+        s.assign_to_processor(1, "cpu")
+        s.assign_to_processor(2, "cpu", position=1)
+        assert s.software_order("cpu") == [0, 2, 1]
+        assert s.resource_name_of(2) == "cpu"
+
+    def test_position_out_of_range(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        with pytest.raises(MappingError):
+            s.assign_to_processor(0, "cpu", position=5)
+
+    def test_unknown_processor(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        with pytest.raises(MappingError):
+            s.assign_to_processor(0, "gpu")
+
+    def test_unassigned_task_queries(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        with pytest.raises(MappingError):
+            s.resource_name_of(0)
+        assert not s.is_assigned(0)
+
+    def test_reassignment_moves_off_old_resource(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.assign_to_processor(1, "cpu")
+        s.spawn_context(1, "fpga")
+        assert s.software_order("cpu") == []
+        assert s.context_of(1) == ("fpga", 0)
+
+
+class TestContexts:
+    def test_spawn_and_join(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.spawn_context(1, "fpga")
+        s.assign_to_context(2, "fpga", 0)
+        assert s.contexts("fpga") == [[1, 2]]
+        assert s.context_clbs("fpga", 0) == 180
+
+    def test_capacity_enforced(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.set_implementation_choice(1, 1)  # 200 CLBs
+        s.set_implementation_choice(2, 1)  # 160 CLBs -> 360 > 300
+        s.spawn_context(1, "fpga")
+        with pytest.raises(CapacityError):
+            s.assign_to_context(2, "fpga", 0)
+
+    def test_software_only_task_rejected(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        with pytest.raises(MappingError):
+            s.spawn_context(0, "fpga")
+        s.spawn_context(1, "fpga")
+        with pytest.raises(MappingError):
+            s.assign_to_context(4, "fpga", 0)
+
+    def test_empty_context_pruned_on_unassign(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.spawn_context(1, "fpga")
+        s.spawn_context(3, "fpga")
+        assert s.num_contexts("fpga") == 2
+        s.assign_to_processor(1, "cpu")
+        assert s.contexts("fpga") == [[3]]
+        assert s.context_of(3) == ("fpga", 0)
+
+    def test_spawn_position(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.spawn_context(1, "fpga")
+        s.spawn_context(3, "fpga")
+        s.spawn_context(2, "fpga", position=1)
+        assert s.contexts("fpga") == [[1], [2], [3]]
+
+    def test_initial_and_terminal_nodes(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.spawn_context(1, "fpga")
+        s.assign_to_context(2, "fpga", 0)
+        s.assign_to_context(3, "fpga", 0)  # 100+80+120 = 300 exactly
+        # preds of 1, 2 (task 0) are outside; 3's preds (1, 2) are inside
+        assert set(s.context_initial_nodes("fpga", 0)) == {1, 2}
+        # succ of 3 (task 4) outside; 1, 2's succ (3) inside
+        assert s.context_terminal_nodes("fpga", 0) == [3]
+
+    def test_task_too_big_for_device(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.set_implementation_choice(3, 1)  # 240 CLBs
+        s.spawn_context(1, "fpga")
+        s.set_implementation_choice(1, 1)  # 200 in ctx
+        # spawning a 240-CLB context works (240 < 300)...
+        s.spawn_context(3, "fpga")
+        # ...but a 400-CLB fake impl would not; emulate via capacity check
+        fpga = small_arch.resource("fpga")
+        assert not fpga.fits(0, 400)
+
+
+class TestImplementationChoices:
+    def test_default_choice_is_zero(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        assert s.implementation_choice(1) == 0
+        assert s.task_clbs(1) == 100
+
+    def test_choice_changes_area(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.set_implementation_choice(1, 1)
+        assert s.task_clbs(1) == 200
+
+    def test_invalid_choice_rejected(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        with pytest.raises(Exception):
+            s.set_implementation_choice(1, 7)
+
+
+class TestValidationAndCopy:
+    def test_valid_full_assignment(self, small_solution):
+        small_solution.validate()
+
+    def test_missing_task_detected(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        s.assign_to_processor(0, "cpu")
+        with pytest.raises(MappingError):
+            s.validate()
+
+    def test_copy_is_deep(self, small_solution):
+        clone = small_solution.copy()
+        clone.spawn_context(1, "fpga")
+        assert small_solution.resource_name_of(1) == "cpu"
+        assert clone.resource_name_of(1) == "fpga"
+        small_solution.validate()
+        clone.validate()
+
+    def test_summary_mentions_resources(self, small_solution):
+        text = small_solution.summary()
+        assert "cpu" in text and "fpga" in text
+
+    def test_hardware_software_lists(self, small_app, small_arch):
+        s = Solution(small_app, small_arch)
+        for t in (0, 2, 4, 5):
+            s.assign_to_processor(t, "cpu")
+        s.spawn_context(1, "fpga")
+        s.assign_to_context(3, "fpga", 0)
+        assert sorted(s.hardware_tasks()) == [1, 3]
+        assert sorted(s.software_tasks()) == [0, 2, 4, 5]

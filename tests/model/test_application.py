@@ -1,0 +1,106 @@
+"""Tests for the Application container."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.application import Application
+from repro.model.task import Implementation, Task
+
+
+def make_app():
+    app = Application("t")
+    app.add_task(Task(0, "a", "F", 1.0))
+    app.add_task(Task(1, "b", "F", 2.0, (Implementation(10, 0.5),)))
+    app.add_task(Task(2, "c", "F", 3.0))
+    app.add_dependency(0, 1, 4.0)
+    app.add_dependency(1, 2, 2.0)
+    return app
+
+
+class TestConstruction:
+    def test_duplicate_index_rejected(self):
+        app = Application("t")
+        app.add_task(Task(0, "a", "F", 1.0))
+        with pytest.raises(ModelError):
+            app.add_task(Task(0, "b", "F", 1.0))
+
+    def test_duplicate_name_rejected(self):
+        app = Application("t")
+        app.add_task(Task(0, "a", "F", 1.0))
+        with pytest.raises(ModelError):
+            app.add_task(Task(1, "a", "F", 1.0))
+
+    def test_dependency_unknown_task(self):
+        app = make_app()
+        with pytest.raises(ModelError):
+            app.add_dependency(0, 9)
+
+    def test_negative_volume_rejected(self):
+        app = make_app()
+        with pytest.raises(ModelError):
+            app.add_dependency(0, 2, data_kbytes=-1.0)
+
+
+class TestQueries:
+    def test_lookup(self):
+        app = make_app()
+        assert app.task(1).name == "b"
+        assert app.task_by_name("c").index == 2
+        with pytest.raises(ModelError):
+            app.task(9)
+        with pytest.raises(ModelError):
+            app.task_by_name("zz")
+
+    def test_neighbors_and_volumes(self):
+        app = make_app()
+        assert app.successors(0) == [1]
+        assert app.predecessors(2) == [1]
+        assert app.data_kbytes(0, 1) == 4.0
+
+    def test_sources_sinks(self):
+        app = make_app()
+        assert app.sources() == [0]
+        assert app.sinks() == [2]
+
+    def test_len_contains(self):
+        app = make_app()
+        assert len(app) == 3
+        assert 1 in app and 9 not in app
+
+    def test_hardware_capable(self):
+        app = make_app()
+        assert [t.index for t in app.hardware_capable_tasks()] == [1]
+
+    def test_total_sw_time(self):
+        assert make_app().total_sw_time_ms() == pytest.approx(6.0)
+
+
+class TestClosure:
+    def test_precedes(self):
+        app = make_app()
+        assert app.precedes(0, 2)
+        assert not app.precedes(2, 0)
+        assert not app.precedes(0, 0)
+
+    def test_closure_invalidated_on_new_edge(self):
+        app = Application("t")
+        app.add_task(Task(0, "a", "F", 1.0))
+        app.add_task(Task(1, "b", "F", 1.0))
+        assert not app.precedes(0, 1)
+        app.add_dependency(0, 1)
+        assert app.precedes(0, 1)
+
+
+class TestValidation:
+    def test_valid(self):
+        make_app().validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Application("empty").validate()
+
+    def test_cycle_reported(self):
+        app = make_app()
+        app.dag.add_edge(2, 0)  # bypass add_dependency on purpose
+        with pytest.raises(ModelError):
+            app.validate()

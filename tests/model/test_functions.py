@@ -1,0 +1,69 @@
+"""Tests for the functionality library and implementation synthesis."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.functions import (
+    FUNCTION_LIBRARY,
+    FunctionalitySpec,
+    synthesize_implementations,
+)
+from repro.model.task import is_dominant_set
+
+
+class TestFunctionalitySpec:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FunctionalitySpec("X", base_clbs=0, min_speedup=1, max_speedup=2)
+        with pytest.raises(ModelError):
+            FunctionalitySpec("X", base_clbs=10, min_speedup=0, max_speedup=2)
+        with pytest.raises(ModelError):
+            FunctionalitySpec("X", base_clbs=10, min_speedup=3, max_speedup=2)
+        with pytest.raises(ModelError):
+            FunctionalitySpec("X", base_clbs=10, min_speedup=1, max_speedup=2,
+                              variants=0)
+        with pytest.raises(ModelError):
+            FunctionalitySpec("X", base_clbs=10, min_speedup=1, max_speedup=2,
+                              area_growth=1.0)
+
+
+class TestSynthesis:
+    def test_variant_count_and_dominance(self):
+        spec = FunctionalitySpec("FIRX", 50, 5.0, 25.0, variants=6)
+        impls = synthesize_implementations(spec, sw_time_ms=10.0)
+        assert len(impls) == 6
+        assert is_dominant_set(impls)
+        areas = [i.clbs for i in impls]
+        times = [i.time_ms for i in impls]
+        assert areas == sorted(areas)
+        assert times == sorted(times, reverse=True)
+
+    def test_speedup_range(self):
+        spec = FunctionalitySpec("Y", 40, 4.0, 16.0, variants=5)
+        impls = synthesize_implementations(spec, sw_time_ms=8.0)
+        assert impls[0].time_ms == pytest.approx(8.0 / 4.0)
+        assert impls[-1].time_ms == pytest.approx(8.0 / 16.0)
+
+    def test_single_variant_uses_max_speedup(self):
+        spec = FunctionalitySpec("Z", 30, 2.0, 6.0, variants=1)
+        impls = synthesize_implementations(spec, sw_time_ms=6.0)
+        assert len(impls) == 1
+        assert impls[0].time_ms == pytest.approx(1.0)
+
+    def test_negative_sw_time_rejected(self):
+        spec = FunctionalitySpec("W", 30, 2.0, 6.0)
+        with pytest.raises(ModelError):
+            synthesize_implementations(spec, sw_time_ms=-1.0)
+
+
+class TestLibrary:
+    def test_every_entry_synthesizes_dominant_sets(self):
+        for name, spec in FUNCTION_LIBRARY.items():
+            impls = synthesize_implementations(spec, sw_time_ms=5.0)
+            assert is_dominant_set(impls), name
+            # the paper reports 5 or 6 synthesized variants per function
+            assert spec.variants in (5, 6), name
+
+    def test_control_functions_barely_speed_up(self):
+        spec = FUNCTION_LIBRARY["CONTROL"]
+        assert spec.min_speedup < 1.0  # hardware can even be slower

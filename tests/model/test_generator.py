@@ -1,0 +1,75 @@
+"""Tests for the random application generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.generator import GeneratorConfig, random_application
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(num_tasks=0).validate()
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(topology="ring").validate()
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(software_only_fraction=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(min_sw_ms=5.0, max_sw_ms=1.0).validate()
+
+
+class TestGeneration:
+    def test_size_and_validity(self):
+        app = random_application(GeneratorConfig(num_tasks=25), seed=1)
+        assert len(app) == 25
+        app.validate()
+
+    def test_determinism(self):
+        a = random_application(GeneratorConfig(num_tasks=15), seed=9)
+        b = random_application(GeneratorConfig(num_tasks=15), seed=9)
+        assert sorted(a.dependencies()) == sorted(b.dependencies())
+        for task in a.tasks():
+            assert b.task(task.index).sw_time_ms == task.sw_time_ms
+
+    def test_layered_topology(self):
+        app = random_application(
+            GeneratorConfig(num_tasks=16, topology="layered"), seed=2
+        )
+        app.validate()
+        assert len(app) <= 16
+
+    def test_software_only_fraction_extremes(self):
+        all_sw = random_application(
+            GeneratorConfig(num_tasks=12, software_only_fraction=1.0), seed=3
+        )
+        assert all_sw.hardware_capable_tasks() == []
+        all_hw = random_application(
+            GeneratorConfig(num_tasks=12, software_only_fraction=0.0), seed=3
+        )
+        assert len(all_hw.hardware_capable_tasks()) == 12
+
+    def test_times_and_volumes_in_bounds(self):
+        config = GeneratorConfig(
+            num_tasks=20, min_sw_ms=1.0, max_sw_ms=2.0,
+            min_kbytes=5.0, max_kbytes=6.0,
+        )
+        app = random_application(config, seed=4)
+        for task in app.tasks():
+            assert 1.0 <= task.sw_time_ms <= 2.0
+        for _, _, kbytes in app.dependencies():
+            assert 5.0 <= kbytes <= 6.0
+
+    def test_explorable(self):
+        """Generated apps run through the full pipeline."""
+        from repro.arch.architecture import epicure_architecture
+        from repro.sa.explorer import DesignSpaceExplorer
+
+        app = random_application(GeneratorConfig(num_tasks=18), seed=5)
+        explorer = DesignSpaceExplorer(
+            app, epicure_architecture(800),
+            iterations=400, warmup_iterations=80, seed=5,
+        )
+        result = explorer.run()
+        assert result.best_evaluation.feasible

@@ -1,0 +1,114 @@
+"""Tests for the motion-detection benchmark — including the paper's
+published aggregates, which double as a validation of the reverse-
+engineered topology."""
+
+import pytest
+
+from repro.analysis.combinatorics import (
+    chain_interleavings,
+    count_linear_extensions,
+)
+from repro.model.motion import (
+    MOTION_DEADLINE_MS,
+    MOTION_RECONFIG_MS_PER_CLB,
+    MOTION_TOTAL_SW_TIME_MS,
+    SOFTWARE_ONLY_FUNCTIONS,
+    motion_chain_ids,
+    motion_detection_application,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return motion_detection_application()
+
+
+class TestPaperAggregates:
+    def test_28_tasks(self, app):
+        assert len(app) == 28
+
+    def test_total_software_time_is_76_4_ms(self, app):
+        assert app.total_sw_time_ms() == pytest.approx(MOTION_TOTAL_SW_TIME_MS)
+        assert MOTION_TOTAL_SW_TIME_MS == pytest.approx(76.4)
+
+    def test_constants_match_paper(self):
+        assert MOTION_DEADLINE_MS == 40.0
+        assert MOTION_RECONFIG_MS_PER_CLB == pytest.approx(0.0225)
+
+    def test_software_violates_deadline(self, app):
+        assert app.total_sw_time_ms() > MOTION_DEADLINE_MS
+
+    def test_five_or_six_implementations_per_hw_function(self, app):
+        for task in app.hardware_capable_tasks():
+            assert task.num_implementations in (5, 6), task.name
+
+
+class TestTopology:
+    def test_chain_structure(self, app):
+        ids = motion_chain_ids()
+        assert [len(ids[c]) for c in "ABCDEF"] == [7, 7, 6, 2, 1, 5]
+        # intra-chain edges
+        for label, members in ids.items():
+            for a, b in zip(members, members[1:]):
+                assert app.precedes(a, b)
+
+    def test_joins(self, app):
+        ids = motion_chain_ids()
+        assert ids["B"][0] in app.successors(ids["A"][-1])
+        assert ids["C"][0] in app.successors(ids["A"][-1])
+        assert ids["D"][0] in app.successors(ids["C"][-1])
+        assert ids["E"][0] in app.successors(ids["C"][-1])
+        assert ids["F"][0] in app.successors(ids["D"][-1])
+        assert ids["F"][0] in app.successors(ids["E"][-1])
+
+    def test_b_chain_is_fully_parallel_to_the_14_chain(self, app):
+        """Section 5 counts B as parallel with the entire C/D/E/F block."""
+        ids = motion_chain_ids()
+        rest = ids["C"] + ids["D"] + ids["E"] + ids["F"]
+        for b in ids["B"]:
+            for r in rest:
+                assert not app.precedes(b, r)
+                assert not app.precedes(r, b)
+
+    def test_acyclic_and_single_source(self, app):
+        app.validate()
+        assert app.sources() == [0]
+
+
+class TestLinearExtensionCounts:
+    """The paper's own solution-space numbers — exact checks."""
+
+    def test_first_20_nodes_give_1716_orders(self):
+        assert chain_interleavings([7, 6]) == 1716
+
+    def test_de_fork_gives_3_orders(self):
+        assert chain_interleavings([2, 1]) == 3
+
+    def test_full_graph_gives_348840_orders(self, app):
+        assert count_linear_extensions(app.dag) == 348_840
+
+    def test_348840_is_3_times_c21_7(self):
+        from math import comb
+        assert 3 * comb(21, 7) == 348_840
+
+
+class TestDataVolumes:
+    def test_every_edge_carries_data(self, app):
+        for src, dst, kbytes in app.dependencies():
+            assert kbytes > 0.0, (src, dst)
+
+    def test_software_only_tasks(self, app):
+        for task in app.tasks():
+            if task.functionality in SOFTWARE_ONLY_FUNCTIONS:
+                assert not task.hardware_capable, task.name
+            else:
+                assert task.hardware_capable, task.name
+
+    def test_deterministic_construction(self, app):
+        again = motion_detection_application()
+        assert sorted(again.dependencies()) == sorted(app.dependencies())
+        for task in app.tasks():
+            other = again.task(task.index)
+            assert other.name == task.name
+            assert other.sw_time_ms == task.sw_time_ms
+            assert other.implementations == task.implementations

@@ -1,0 +1,220 @@
+"""Tests for the SDF front end (repetition vectors, liveness, unfolding)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.model.sdf import SdfActor, SdfChannel, SdfGraph
+from repro.model.task import Implementation
+
+
+def simple_graph(p=2, c=3, delay=0):
+    g = SdfGraph("g")
+    g.add_actor(SdfActor("a", "F", 1.0))
+    g.add_actor(SdfActor("b", "F", 2.0))
+    g.add_channel(SdfChannel("a", "b", p, c, initial_tokens=delay,
+                             token_kbytes=1.0))
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_actor(self):
+        g = SdfGraph("g")
+        g.add_actor(SdfActor("a", "F", 1.0))
+        with pytest.raises(ModelError):
+            g.add_actor(SdfActor("a", "F", 2.0))
+
+    def test_unknown_endpoint(self):
+        g = SdfGraph("g")
+        g.add_actor(SdfActor("a", "F", 1.0))
+        with pytest.raises(ModelError):
+            g.add_channel(SdfChannel("a", "zz", 1, 1))
+
+    def test_bad_rates(self):
+        with pytest.raises(ModelError):
+            SdfChannel("a", "b", 0, 1)
+        with pytest.raises(ModelError):
+            SdfChannel("a", "b", 1, 1, initial_tokens=-1)
+
+
+class TestRepetitionVector:
+    def test_classic_2_3(self):
+        assert simple_graph(2, 3).repetition_vector() == {"a": 3, "b": 2}
+
+    def test_homogeneous(self):
+        assert simple_graph(1, 1).repetition_vector() == {"a": 1, "b": 1}
+
+    def test_three_actor_chain(self):
+        g = SdfGraph("g")
+        for name in "abc":
+            g.add_actor(SdfActor(name, "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 3, 2))
+        g.add_channel(SdfChannel("b", "c", 1, 2))
+        # q(a)*3 = q(b)*2, q(b)*1 = q(c)*2 -> q = (2, 3, 1)*k minimal?
+        # q(b)=3 -> q(a)=2, q(c)=3/2 -> scale: q=(4, 6, 3)
+        assert g.repetition_vector() == {"a": 4, "b": 6, "c": 3}
+
+    def test_inconsistent_rejected(self):
+        g = SdfGraph("g")
+        for name in "ab":
+            g.add_actor(SdfActor(name, "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 1, 1))
+        g.add_channel(SdfChannel("a", "b", 2, 1))  # contradicts the first
+        with pytest.raises(ModelError):
+            g.repetition_vector()
+        assert not g.is_consistent()
+
+    def test_disconnected_components(self):
+        g = SdfGraph("g")
+        for name in "abcd":
+            g.add_actor(SdfActor(name, "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 2, 1))
+        g.add_channel(SdfChannel("c", "d", 1, 3))
+        vec = g.repetition_vector()
+        assert vec["a"] * 2 == vec["b"]
+        assert vec["c"] == vec["d"] * 3
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ModelError):
+            SdfGraph("empty").repetition_vector()
+
+
+class TestLiveness:
+    def test_acyclic_is_live(self):
+        simple_graph().check_live()
+
+    def test_cycle_without_tokens_deadlocks(self):
+        g = SdfGraph("g")
+        for name in "ab":
+            g.add_actor(SdfActor(name, "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 1, 1))
+        g.add_channel(SdfChannel("b", "a", 1, 1))  # no initial tokens
+        with pytest.raises(ModelError):
+            g.check_live()
+
+    def test_cycle_with_tokens_is_live(self):
+        g = SdfGraph("g")
+        for name in "ab":
+            g.add_actor(SdfActor(name, "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 1, 1))
+        g.add_channel(SdfChannel("b", "a", 1, 1, initial_tokens=1))
+        g.check_live()
+
+
+class TestUnfolding:
+    def test_instance_counts(self):
+        app = simple_graph(2, 3).unfold()
+        names = {t.name for t in app.tasks()}
+        assert names == {"a#0", "a#1", "a#2", "b#0", "b#1"}
+
+    def test_precedence_rates(self):
+        app = simple_graph(2, 3).unfold()
+        a = {t.name: t.index for t in app.tasks()}
+        # b#0 needs 3 tokens -> after a#1 (2 firings produce 4)
+        assert app.precedes(a["a#1"], a["b#0"])
+        # b#1 needs 6 tokens -> after a#2
+        assert app.precedes(a["a#2"], a["b#1"])
+        # b#0 must NOT wait for a#2
+        assert not app.dag.has_edge(a["a#2"], a["b#0"])
+
+    def test_initial_tokens_relax_dependencies(self):
+        app = simple_graph(2, 3, delay=3).unfold()
+        a = {t.name: t.index for t in app.tasks()}
+        # b#0's 3 tokens come from the delay: no producer edge at all
+        preds = set(app.predecessors(a["b#0"]))
+        assert preds <= {a["b#1"]} or preds == set()
+
+    def test_sequential_firings_chain(self):
+        app = simple_graph(2, 3).unfold()
+        a = {t.name: t.index for t in app.tasks()}
+        assert app.dag.has_edge(a["a#0"], a["a#1"])
+        assert app.dag.has_edge(a["a#1"], a["a#2"])
+
+    def test_auto_concurrent_firings(self):
+        app = simple_graph(2, 3).unfold(sequential_firings=False)
+        a = {t.name: t.index for t in app.tasks()}
+        assert not app.dag.has_edge(a["a#0"], a["a#1"])
+
+    def test_multiple_iterations(self):
+        app = simple_graph(1, 1).unfold(iterations=3)
+        assert len(app) == 6
+
+    def test_token_volume_on_edges(self):
+        app = simple_graph(2, 3).unfold()
+        a = {t.name: t.index for t in app.tasks()}
+        assert app.data_kbytes(a["a#1"], a["b#0"]) == pytest.approx(3.0)
+
+    def test_deadlocked_graph_cannot_unfold(self):
+        g = SdfGraph("g")
+        for name in "ab":
+            g.add_actor(SdfActor(name, "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 1, 1))
+        g.add_channel(SdfChannel("b", "a", 1, 1))
+        with pytest.raises(ModelError):
+            g.unfold()
+
+    def test_implementations_propagate(self):
+        g = SdfGraph("g")
+        impl = (Implementation(50, 0.2),)
+        g.add_actor(SdfActor("a", "FIR", 1.0, impl))
+        g.add_actor(SdfActor("b", "F", 1.0))
+        g.add_channel(SdfChannel("a", "b", 1, 1))
+        app = g.unfold()
+        assert app.task_by_name("a#0").implementations == impl
+
+
+class TestEndToEndMapping:
+    def test_unfolded_sdf_maps_with_the_explorer(self):
+        from repro.arch.architecture import Architecture
+        from repro.arch.bus import Bus
+        from repro.arch.processor import Processor
+        from repro.arch.reconfigurable import ReconfigurableCircuit
+        from repro.sa.explorer import DesignSpaceExplorer
+
+        g = SdfGraph("sdr")
+        fir = (Implementation(60, 0.3), Implementation(120, 0.15))
+        g.add_actor(SdfActor("src", "IO", 0.5))
+        g.add_actor(SdfActor("fir", "FIR", 2.0, fir))
+        g.add_actor(SdfActor("dec", "F", 1.0))
+        g.add_channel(SdfChannel("src", "fir", 2, 1, token_kbytes=4.0))
+        g.add_channel(SdfChannel("fir", "dec", 1, 2, token_kbytes=4.0))
+        app = g.unfold()
+
+        arch = Architecture("sdr_arch", bus=Bus())
+        arch.add_resource(Processor("cpu"))
+        arch.add_resource(ReconfigurableCircuit("fpga", n_clbs=200))
+        explorer = DesignSpaceExplorer(
+            app, arch, iterations=400, warmup_iterations=80, seed=1
+        )
+        result = explorer.run()
+        assert result.best_evaluation.feasible
+
+
+@given(
+    p=st.integers(1, 5),
+    c=st.integers(1, 5),
+    delay=st.integers(0, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_unfolding_is_rate_correct(p, c, delay):
+    """For every consumer firing, the producer instances preceding it
+    supply at least the consumed tokens (and the immediately smaller
+    count would not)."""
+    g = simple_graph(p, c, delay)
+    app = g.unfold()
+    ids = {t.name: t.index for t in app.tasks()}
+    q = g.repetition_vector()
+    for j in range(q["b"]):
+        consumer = ids[f"b#{j}"]
+        direct = [
+            src for src in app.predecessors(consumer)
+            if app.task(src).name.startswith("a#")
+        ]
+        needed = (j + 1) * c - delay
+        if needed <= 0:
+            assert direct == []
+            continue
+        assert len(direct) == 1
+        fired = int(app.task(direct[0]).name.split("#")[1]) + 1
+        assert fired * p + delay >= (j + 1) * c
+        assert (fired - 1) * p + delay < (j + 1) * c

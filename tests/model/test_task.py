@@ -1,0 +1,128 @@
+"""Tests for Implementation / Task and Pareto-set handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.model.task import Implementation, Task, is_dominant_set, pareto_filter
+
+
+class TestImplementation:
+    def test_valid(self):
+        impl = Implementation(clbs=100, time_ms=2.0, name="v0")
+        assert impl.clbs == 100
+
+    def test_invalid_area(self):
+        with pytest.raises(ModelError):
+            Implementation(clbs=0, time_ms=1.0)
+
+    def test_invalid_time(self):
+        with pytest.raises(ModelError):
+            Implementation(clbs=10, time_ms=-1.0)
+
+    def test_dominates(self):
+        small_fast = Implementation(10, 1.0)
+        big_slow = Implementation(20, 2.0)
+        assert small_fast.dominates(big_slow)
+        assert not big_slow.dominates(small_fast)
+
+    def test_no_self_dominance(self):
+        impl = Implementation(10, 1.0)
+        assert not impl.dominates(Implementation(10, 1.0))
+
+    def test_incomparable(self):
+        small_slow = Implementation(10, 2.0)
+        big_fast = Implementation(20, 1.0)
+        assert not small_slow.dominates(big_fast)
+        assert not big_fast.dominates(small_slow)
+
+
+class TestParetoFilter:
+    def test_keeps_frontier(self):
+        impls = [
+            Implementation(10, 5.0),
+            Implementation(20, 3.0),
+            Implementation(15, 6.0),  # dominated by (10, 5)
+            Implementation(40, 1.0),
+        ]
+        kept = pareto_filter(impls)
+        assert [(i.clbs, i.time_ms) for i in kept] == [
+            (10, 5.0), (20, 3.0), (40, 1.0),
+        ]
+        assert is_dominant_set(kept)
+
+    def test_single(self):
+        kept = pareto_filter([Implementation(5, 1.0)])
+        assert len(kept) == 1
+
+    def test_same_area_keeps_fastest(self):
+        kept = pareto_filter([Implementation(10, 5.0), Implementation(10, 2.0)])
+        assert [(i.clbs, i.time_ms) for i in kept] == [(10, 2.0)]
+
+
+class TestTask:
+    def test_valid_software_only(self):
+        task = Task(0, "ctl", "CONTROL", 2.0)
+        assert not task.hardware_capable
+        with pytest.raises(ModelError):
+            task.smallest_implementation()
+        with pytest.raises(ModelError):
+            task.fastest_implementation()
+
+    def test_implementations_sorted(self):
+        task = Task(
+            1, "fir", "FIR", 10.0,
+            (Implementation(200, 0.5), Implementation(100, 1.0)),
+        )
+        assert [i.clbs for i in task.implementations] == [100, 200]
+        assert task.smallest_implementation().clbs == 100
+        assert task.fastest_implementation().time_ms == 0.5
+
+    def test_non_dominant_set_rejected(self):
+        with pytest.raises(ModelError):
+            Task(
+                1, "bad", "FIR", 10.0,
+                (Implementation(100, 1.0), Implementation(200, 2.0)),
+            )
+
+    def test_negative_sw_time_rejected(self):
+        with pytest.raises(ModelError):
+            Task(0, "x", "F", -1.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            Task(-1, "x", "F", 1.0)
+
+    def test_implementation_lookup(self):
+        task = Task(
+            2, "f", "FIR", 10.0,
+            (Implementation(100, 1.0), Implementation(200, 0.5)),
+        )
+        assert task.implementation(1).clbs == 200
+        with pytest.raises(ModelError):
+            task.implementation(5)
+
+    def test_best_speedup(self):
+        task = Task(
+            3, "f", "FIR", 10.0, (Implementation(100, 2.0),)
+        )
+        assert task.best_speedup() == pytest.approx(5.0)
+
+
+@given(
+    points=st.lists(
+        st.tuples(st.integers(1, 500), st.floats(0.01, 50.0, allow_nan=False)),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_property_pareto_filter_is_dominant_and_minimal(points):
+    impls = [Implementation(c, t) for c, t in points]
+    kept = pareto_filter(impls)
+    # dominant set
+    assert is_dominant_set(kept)
+    # every dropped point is dominated by some kept point
+    for impl in impls:
+        if impl not in kept:
+            assert any(k.dominates(impl) for k in kept)

@@ -1,0 +1,151 @@
+"""Tests for the cooling schedules."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sa.schedules import (
+    GeometricSchedule,
+    LamDelosmeSchedule,
+    ModifiedLamSchedule,
+    lam_quality_factor,
+    make_schedule,
+)
+
+
+class TestQualityFactor:
+    def test_zero_at_extremes(self):
+        assert lam_quality_factor(0.0) == 0.0
+        assert lam_quality_factor(1.0) == 0.0
+
+    def test_peaks_near_044(self):
+        values = {a: lam_quality_factor(a) for a in (0.1, 0.44, 0.9)}
+        assert values[0.44] > values[0.1]
+        assert values[0.44] > values[0.9]
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            lam_quality_factor(1.5)
+
+
+class TestLamDelosme:
+    def test_infinite_before_begin(self):
+        schedule = LamDelosmeSchedule()
+        assert math.isinf(schedule.temperature)
+
+    def test_record_before_begin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LamDelosmeSchedule().record(1.0, True)
+
+    def test_temperature_decreases_monotonically(self):
+        schedule = LamDelosmeSchedule(lambda_rate=0.1)
+        schedule.begin([50.0, 60.0, 40.0, 55.0, 45.0])
+        temps = [schedule.temperature]
+        for k in range(500):
+            schedule.record(50.0 + (k % 7), accepted=(k % 2 == 0))
+            temps.append(schedule.temperature)
+        assert all(b <= a for a, b in zip(temps, temps[1:]))
+        assert temps[-1] < temps[0]
+
+    def test_sigma_floor_prevents_instant_quench(self):
+        schedule = LamDelosmeSchedule(lambda_rate=0.1)
+        schedule.begin([50.0, 60.0, 40.0])
+        for _ in range(200):
+            schedule.record(50.0, accepted=True)  # zero variance stream
+        assert schedule.temperature > 0.0
+        assert schedule.sigma_estimate >= 1e-9
+
+    def test_acceptance_estimate_tracks(self):
+        schedule = LamDelosmeSchedule(smoothing=0.5)
+        schedule.begin([10.0, 20.0])
+        for _ in range(50):
+            schedule.record(15.0, accepted=False)
+        assert schedule.acceptance_estimate < 0.05
+        assert schedule.frozen()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LamDelosmeSchedule(lambda_rate=0)
+        with pytest.raises(ConfigurationError):
+            LamDelosmeSchedule(smoothing=0)
+        with pytest.raises(ConfigurationError):
+            LamDelosmeSchedule(initial_acceptance=1.0)
+
+
+class TestModifiedLam:
+    def test_target_trajectory_shape(self):
+        schedule = ModifiedLamSchedule(horizon=1000)
+        start = schedule.target_acceptance(0)
+        plateau = schedule.target_acceptance(400)
+        tail = schedule.target_acceptance(999)
+        assert start == pytest.approx(1.0)
+        assert plateau == pytest.approx(0.44)
+        assert tail < 0.01
+
+    def test_cools_when_acceptance_exceeds_target(self):
+        schedule = ModifiedLamSchedule(horizon=500)
+        schedule.begin([10.0, 30.0, 20.0])
+        t0 = schedule.temperature
+        for _ in range(500):
+            schedule.record(20.0, accepted=True)  # measured 1.0 >= target
+        assert schedule.temperature < t0
+
+    def test_heats_when_acceptance_below_target(self):
+        schedule = ModifiedLamSchedule(horizon=500)
+        schedule.begin([10.0, 30.0, 20.0])
+        t0 = schedule.temperature
+        for _ in range(50):  # early phase targets ~1.0
+            schedule.record(20.0, accepted=False)
+        assert schedule.temperature > t0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModifiedLamSchedule(horizon=0)
+        with pytest.raises(ConfigurationError):
+            ModifiedLamSchedule(horizon=10, adjust=1.0)
+
+    def test_record_before_begin(self):
+        with pytest.raises(ConfigurationError):
+            ModifiedLamSchedule(horizon=10).record(1.0, True)
+
+
+class TestGeometric:
+    def test_plateau_steps(self):
+        schedule = GeometricSchedule(alpha=0.5, plateau=10, t0=100.0)
+        schedule.begin([1.0, 2.0])
+        assert schedule.temperature == 100.0
+        for _ in range(10):
+            schedule.record(1.0, True)
+        assert schedule.temperature == pytest.approx(50.0)
+        for _ in range(10):
+            schedule.record(1.0, True)
+        assert schedule.temperature == pytest.approx(25.0)
+
+    def test_t0_from_warmup_spread(self):
+        schedule = GeometricSchedule()
+        schedule.begin([0.0, 10.0])
+        assert schedule.temperature > 0.0
+        assert math.isfinite(schedule.temperature)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeometricSchedule(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            GeometricSchedule(plateau=0)
+        with pytest.raises(ConfigurationError):
+            GeometricSchedule(t0=-1.0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_schedule("lam"), LamDelosmeSchedule)
+        assert isinstance(make_schedule("adaptive"), LamDelosmeSchedule)
+        assert isinstance(
+            make_schedule("modified_lam", horizon=100), ModifiedLamSchedule
+        )
+        assert isinstance(make_schedule("geometric"), GeometricSchedule)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_schedule("boiling")

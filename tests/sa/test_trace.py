@@ -1,0 +1,53 @@
+"""Tests for trace records, CSV export, downsampling."""
+
+import io
+import math
+
+import pytest
+
+from repro.sa.trace import CSV_HEADER, TraceRecord, downsample, write_csv
+
+
+def rec(i, cost=10.0, temp=1.0):
+    return TraceRecord(
+        iteration=i, temperature=temp, current_cost=cost, best_cost=cost,
+        num_contexts=2, accepted=True, move_name="m2_reassign",
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        stream = io.StringIO()
+        write_csv([rec(1), rec(2, cost=9.5)], stream)
+        lines = stream.getvalue().strip().splitlines()
+        assert lines[0] == CSV_HEADER
+        assert lines[1].startswith("1,1,10,")
+        assert len(lines) == 3
+
+    def test_infinite_temperature_serialized(self):
+        stream = io.StringIO()
+        write_csv([rec(1, temp=math.inf)], stream)
+        assert ",inf," in stream.getvalue().splitlines()[1]
+
+
+class TestDownsample:
+    def test_keeps_every_nth_plus_last(self):
+        records = [rec(i) for i in range(1, 11)]
+        kept = downsample(records, every=3)
+        assert [r.iteration for r in kept] == [1, 4, 7, 10]
+
+    def test_last_always_included(self):
+        records = [rec(i) for i in range(1, 6)]
+        kept = downsample(records, every=2)
+        assert kept[-1].iteration == 5
+
+    def test_every_one_is_identity(self):
+        records = [rec(i) for i in range(1, 4)]
+        assert downsample(records, every=1) == records
+
+    def test_empty(self):
+        assert downsample([], every=5) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            downsample([rec(1)], every=0)

@@ -1,0 +1,90 @@
+"""CLI tests (small budgets, output captured via capsys)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_application, load_solution
+from repro.model.generator import GeneratorConfig, random_application
+from repro.model.motion import motion_detection_application
+from repro.arch.architecture import epicure_architecture
+
+
+class TestInfo:
+    def test_default_benchmark(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "motion_detection" in out
+        assert "76.40 ms" in out
+        assert "348,840" in out  # solution-space report
+
+    def test_custom_application_file(self, tmp_path, capsys):
+        app = random_application(GeneratorConfig(num_tasks=8), seed=1)
+        path = tmp_path / "app.json"
+        path.write_text(dump_application(app))
+        assert main(["info", "--application", str(path)]) == 0
+        assert app.name in capsys.readouterr().out
+
+
+class TestExplore:
+    def test_basic_run(self, capsys):
+        assert main([
+            "explore", "--iterations", "400", "--warmup", "80",
+            "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best mapping" in out
+        assert "reconfiguration" in out
+
+    def test_plot_gantt_and_save(self, tmp_path, capsys):
+        save = tmp_path / "solution.json"
+        assert main([
+            "explore", "--iterations", "400", "--warmup", "80",
+            "--seed", "1", "--plot", "--gantt", "--save", str(save),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out          # trace plot
+        assert "makespan" in out           # gantt header
+        data = json.loads(save.read_text())
+        assert data["format"] == "solution"
+        # the saved solution reloads and validates
+        solution = load_solution(
+            save.read_text(),
+            motion_detection_application(),
+            epicure_architecture(2000),
+        )
+        solution.validate()
+
+    def test_schedule_choice(self, capsys):
+        assert main([
+            "explore", "--iterations", "300", "--warmup", "60",
+            "--schedule", "geometric",
+        ]) == 0
+
+
+class TestSweep:
+    def test_two_sizes(self, capsys):
+        assert main([
+            "sweep", "--sizes", "400,2000", "--runs", "1",
+            "--iterations", "500", "--warmup", "100", "--plot",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NCLB" in out
+        assert "device size (CLBs)" in out  # plot label
+
+
+class TestCompare:
+    def test_tiny_budgets(self, capsys):
+        assert main([
+            "compare", "--iterations", "500", "--warmup", "100",
+            "--population", "12", "--generations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive SA" in out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,104 @@
+"""Round-trip tests for JSON serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.arch.architecture import Architecture, epicure_architecture
+from repro.arch.asic import Asic
+from repro.errors import ConfigurationError, MappingError
+from repro.io import (
+    dump_application,
+    dump_architecture,
+    dump_solution,
+    load_application,
+    load_architecture,
+    load_solution,
+)
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import random_initial_solution
+from repro.model.motion import motion_detection_application
+
+
+class TestApplicationRoundTrip:
+    def test_exact_roundtrip(self, motion_app):
+        text = dump_application(motion_app)
+        again = load_application(text)
+        assert again.name == motion_app.name
+        assert len(again) == len(motion_app)
+        for task in motion_app.tasks():
+            other = again.task(task.index)
+            assert other.name == task.name
+            assert other.functionality == task.functionality
+            assert other.sw_time_ms == task.sw_time_ms
+            assert other.implementations == task.implementations
+        assert sorted(again.dependencies()) == sorted(motion_app.dependencies())
+
+    def test_small_app(self, small_app):
+        again = load_application(dump_application(small_app))
+        assert sorted(again.dependencies()) == sorted(small_app.dependencies())
+
+    def test_wrong_document_kind(self, motion_app, epicure):
+        arch_doc = dump_architecture(epicure)
+        with pytest.raises(ConfigurationError):
+            load_application(arch_doc)
+
+    def test_bad_version(self, motion_app):
+        data = json.loads(dump_application(motion_app))
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            load_application(json.dumps(data))
+
+
+class TestArchitectureRoundTrip:
+    def test_epicure(self, epicure):
+        again = load_architecture(dump_architecture(epicure))
+        assert again.name == epicure.name
+        assert again.bus.rate_kbytes_per_ms == epicure.bus.rate_kbytes_per_ms
+        rc = again.reconfigurable_circuits()[0]
+        assert rc.n_clbs == 2000
+        assert rc.reconfig_ms_per_clb == pytest.approx(0.0225)
+
+    def test_all_resource_kinds(self, small_arch):
+        small_arch.add_resource(Asic("accel", monetary_cost=3.0))
+        again = load_architecture(dump_architecture(small_arch))
+        assert {r.name for r in again.resources()} == {"cpu", "fpga", "accel"}
+        assert again.resource("accel").monetary_cost == 3.0
+
+    def test_unknown_kind_rejected(self, epicure):
+        data = json.loads(dump_architecture(epicure))
+        data["resources"][0]["kind"] = "quantum"
+        with pytest.raises(ConfigurationError):
+            load_architecture(json.dumps(data))
+
+
+class TestSolutionRoundTrip:
+    def test_roundtrip_preserves_evaluation(self, motion_app):
+        arch = epicure_architecture(2000)
+        solution = random_initial_solution(
+            motion_app, arch, random.Random(4)
+        )
+        evaluator = Evaluator(motion_app, arch)
+        original = evaluator.evaluate(solution)
+
+        text = dump_solution(solution)
+        arch2 = epicure_architecture(2000)
+        evaluator2 = Evaluator(motion_app, arch2)
+        restored = load_solution(text, motion_app, arch2)
+        again = evaluator2.evaluate(restored)
+
+        assert again.makespan_ms == pytest.approx(original.makespan_ms)
+        assert again.num_contexts == original.num_contexts
+        assert sorted(restored.hardware_tasks()) == sorted(
+            solution.hardware_tasks()
+        )
+
+    def test_application_mismatch_rejected(self, motion_app, small_app):
+        arch = epicure_architecture(2000)
+        solution = random_initial_solution(
+            motion_app, arch, random.Random(1)
+        )
+        text = dump_solution(solution)
+        with pytest.raises(MappingError):
+            load_solution(text, small_app, arch)

@@ -1,0 +1,29 @@
+"""Smoke tests for the public package surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_surface(self):
+        app = repro.motion_detection_application()
+        arch = repro.epicure_architecture(n_clbs=2000)
+        explorer = repro.DesignSpaceExplorer(
+            app, arch, iterations=300, warmup_iterations=60, seed=0
+        )
+        result = explorer.run()
+        assert result.best_evaluation.feasible
+
+    def test_errors_are_catchable_via_base(self):
+        try:
+            repro.Bus(rate_kbytes_per_ms=-1)
+        except repro.ReproError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ReproError")
