@@ -1,0 +1,133 @@
+"""Engine benchmark — evaluations/sec, full rebuild vs incremental.
+
+Measures the annealer's hot operation (``Evaluator.evaluate`` after each
+move, with Metropolis-style rejected-move undos) for both evaluation
+engines across the motion-detection benchmark and small/medium/large
+random applications.  Parity is asserted on every single evaluation —
+the incremental engine must produce bit-identical makespans while being
+several times faster.
+
+Run with ``pytest benchmarks/bench_engine.py -s`` to see the table.
+
+Environment knobs: ``REPRO_BENCH_ENGINE_EVALS`` (evaluations per
+measurement, default 3000), ``REPRO_BENCH_ENGINE_REPS`` (repetitions,
+median reported, default 3), ``REPRO_BENCH_ENGINE_ASSERT=0`` (report
+the table without asserting wall-clock speedup factors — for CI
+runners, where scheduler noise makes timing assertions flaky; the
+bitwise-parity test is never relaxed).
+"""
+
+import os
+import random
+import statistics
+import time
+
+from repro.arch.architecture import epicure_architecture
+from repro.errors import InfeasibleMoveError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.solution import random_initial_solution
+from repro.model.generator import GeneratorConfig, random_application
+from repro.model.motion import motion_detection_application
+from repro.sa.moves import MoveGenerator
+
+N_EVALS = int(os.environ.get("REPRO_BENCH_ENGINE_EVALS", 3000))
+REPS = int(os.environ.get("REPRO_BENCH_ENGINE_REPS", 3))
+ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ENGINE_ASSERT", "1") != "0"
+
+
+def _cases():
+    return [
+        ("small (12 tasks)",
+         random_application(GeneratorConfig(num_tasks=12), seed=1),
+         epicure_architecture(800)),
+        ("medium (40 tasks)",
+         random_application(GeneratorConfig(num_tasks=40), seed=2),
+         epicure_architecture(2000)),
+        ("large (120 tasks)",
+         random_application(GeneratorConfig(num_tasks=120), seed=3),
+         epicure_architecture(4000)),
+        ("motion detection",
+         motion_detection_application(),
+         epicure_architecture(2000)),
+    ]
+
+
+def _evals_per_sec(app, arch, engine, n_evals, seed=7):
+    """Annealer-shaped loop: propose, apply, evaluate, 50% undo.  Only
+    the evaluate calls are timed."""
+    evaluator = Evaluator(app, arch, engine=engine)
+    rng = random.Random(seed)
+    solution = random_initial_solution(app, arch, rng, hw_fraction=0.5)
+    generator = MoveGenerator(app)
+    elapsed = 0.0
+    n = 0
+    while n < n_evals:
+        try:
+            move = generator.propose(solution, rng)
+            move.apply(solution)
+        except InfeasibleMoveError:
+            continue
+        t0 = time.perf_counter()
+        evaluator.evaluate(solution)
+        elapsed += time.perf_counter() - t0
+        n += 1
+        if rng.random() < 0.5:
+            move.undo(solution)
+    return n / elapsed
+
+
+def _parity_makespans(app, arch, steps, seed=7):
+    """Replay one move stream through both engines; returns the number
+    of bit-identical makespan comparisons performed."""
+    full = Evaluator(app, arch, engine="full")
+    inc = Evaluator(app, arch, engine="incremental")
+    rng = random.Random(seed)
+    solution = random_initial_solution(app, arch, rng, hw_fraction=0.5)
+    generator = MoveGenerator(app)
+    n = 0
+    while n < steps:
+        try:
+            move = generator.propose(solution, rng)
+            move.apply(solution)
+        except InfeasibleMoveError:
+            continue
+        assert full.evaluate(solution) == inc.evaluate(solution)
+        n += 1
+        if rng.random() < 0.5:
+            move.undo(solution)
+    return n
+
+
+def test_engine_throughput():
+    """The headline table: evaluations/sec per engine and instance."""
+    print()
+    print("engine throughput (evaluations/sec, move-evaluate-undo loop, "
+          f"median of {REPS})")
+    header = f"{'instance':<20} {'full':>9} {'incremental':>12} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    speedups = {}
+    for name, app, arch in _cases():
+        full = statistics.median(
+            _evals_per_sec(app, arch, "full", N_EVALS) for _ in range(REPS)
+        )
+        inc = statistics.median(
+            _evals_per_sec(app, arch, "incremental", N_EVALS)
+            for _ in range(REPS)
+        )
+        speedups[name] = inc / full
+        print(f"{name:<20} {full:>9.0f} {inc:>12.0f} {inc / full:>7.2f}x")
+    # The incremental engine must win decisively everywhere; the gap
+    # widens with instance size (dict/tuple overhead scales with V+E,
+    # the delta-patched arrays do not).  Timing assertions are skipped
+    # on noisy runners via REPRO_BENCH_ENGINE_ASSERT=0.
+    if ASSERT_SPEEDUP:
+        for name, factor in speedups.items():
+            assert factor > 1.5, f"{name}: only {factor:.2f}x"
+
+
+def test_engine_parity_is_bit_identical():
+    """Every benchmarked instance: makespans agree bitwise throughout."""
+    for name, app, arch in _cases():
+        compared = _parity_makespans(app, arch, steps=300)
+        assert compared == 300, name

@@ -56,10 +56,15 @@ from repro.arch import (
     epicure_architecture,
 )
 from repro.mapping import (
+    ENGINES,
     Evaluation,
+    EvaluationEngine,
     Evaluator,
     ExecutionSimulator,
+    FullRebuildEngine,
+    IncrementalEngine,
     MakespanCost,
+    make_engine,
     Schedule,
     SimulationResult,
     Solution,
@@ -101,6 +106,8 @@ __all__ = [
     "Evaluation", "Evaluator", "MakespanCost", "Schedule", "Solution",
     "SystemCost", "extract_schedule", "random_initial_solution",
     "render_gantt", "ExecutionSimulator", "SimulationResult", "simulate",
+    "ENGINES", "EvaluationEngine", "FullRebuildEngine",
+    "IncrementalEngine", "make_engine",
     # annealing
     "AnnealerConfig", "DesignSpaceExplorer", "ExplorationResult",
     "GeometricSchedule", "LamDelosmeSchedule", "ModifiedLamSchedule",

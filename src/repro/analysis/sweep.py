@@ -60,12 +60,14 @@ def run_device_sweep(
     deadline_ms: float = 40.0,
     seed0: int = 1,
     explorer_factory: Optional[Callable[[int, int], DesignSpaceExplorer]] = None,
+    engine: str = "full",
 ) -> List[DeviceSweepRow]:
     """Run the Fig. 3 sweep and return one averaged row per size.
 
     ``explorer_factory(n_clbs, seed)`` may be supplied to customize the
     optimizer; the default builds the paper's EPICURE platform with the
-    requested capacity.
+    requested capacity.  ``engine`` selects the evaluation engine for
+    the default explorer (``"full"`` or ``"incremental"``).
     """
     if runs < 1:
         raise ConfigurationError("runs must be >= 1")
@@ -89,6 +91,7 @@ def run_device_sweep(
                     warmup_iterations=warmup_iterations,
                     seed=seed,
                     keep_trace=False,
+                    engine=engine,
                 )
             result = explorer.run()
             ev = result.best_evaluation

@@ -79,12 +79,15 @@ class GeneticPartitioner:
         architecture: Architecture,
         config: Optional[GeneticConfig] = None,
         bus_policy: str = "ordered",
+        engine: str = "full",
     ) -> None:
         self.application = application
         self.architecture = architecture
         self.config = config if config is not None else GeneticConfig()
         self.config.validate()
-        self.evaluator = Evaluator(application, architecture, bus_policy)
+        self.evaluator = Evaluator(
+            application, architecture, bus_policy, engine=engine
+        )
         self._hw_capable = sorted(
             t.index for t in application.tasks() if t.hardware_capable
         )

@@ -28,7 +28,13 @@ class HillClimbResult:
 
 
 class HillClimber:
-    """First-improvement stochastic hill climbing."""
+    """First-improvement stochastic hill climbing.
+
+    ``evaluator`` may be an :class:`Evaluator` facade or any
+    :class:`~repro.mapping.engine.EvaluationEngine` — the climber only
+    needs ``makespan_ms``, so it shares whichever engine (full rebuild
+    or incremental fast path) the caller selected.
+    """
 
     def __init__(
         self,

@@ -67,7 +67,14 @@ def _moved_task(move: Move) -> Optional[int]:
 
 
 class TabuSearch:
-    """Best-candidate tabu search sharing the annealer's moves."""
+    """Best-candidate tabu search sharing the annealer's moves.
+
+    ``evaluator`` may be an :class:`Evaluator` facade or any
+    :class:`~repro.mapping.engine.EvaluationEngine`; tabu's
+    candidate-probing loop (apply, score, undo, best candidate wins) is
+    exactly the access pattern the incremental engine's delta-patching
+    is built for.
+    """
 
     def __init__(
         self,

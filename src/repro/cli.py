@@ -59,6 +59,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         warmup_iterations=args.warmup,
         seed=args.seed,
         schedule_name=args.schedule,
+        engine=args.engine,
     )
     result = explorer.run()
     ev = result.best_evaluation
@@ -93,6 +94,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         warmup_iterations=args.warmup,
         seed0=args.seed if args.seed is not None else 1,
+        engine=args.engine,
     )
     print(format_fig3_table(rows))
     if args.plot:
@@ -109,6 +111,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         ga_population=args.population,
         ga_generations=args.generations,
         seed=args.seed if args.seed is not None else 11,
+        engine=args.engine,
     )
     print(result.format_table())
     return 0
@@ -145,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--iterations", type=int, default=iterations)
         p.add_argument("--warmup", type=int, default=1200)
+        p.add_argument("--engine", default="incremental",
+                       choices=["full", "incremental"],
+                       help="evaluation engine (incremental = array-based "
+                            "fast path, full = reference rebuild)")
 
     p = sub.add_parser("explore", help="run the annealing explorer")
     common(p)

@@ -74,11 +74,15 @@ def run_comparison(
     ga_generations: int = 40,
     seed: int = 11,
     sa_best_of: int = 1,
+    engine: str = "full",
 ) -> ComparisonResult:
     """Run both optimizers on the paper's platform.
 
     ``sa_best_of`` > 1 runs SA multiple times within the GA's time
     budget spirit and keeps the best (still far cheaper than one GA).
+    Both optimizers score candidates through the same evaluation
+    ``engine`` (``"full"`` or ``"incremental"``), so the comparison
+    stays on identical ground either way.
     """
     application = motion_detection_application()
 
@@ -93,6 +97,7 @@ def run_comparison(
             warmup_iterations=sa_warmup,
             seed=seed + k,
             keep_trace=False,
+            engine=engine,
         )
         result = explorer.run()
         sa_total_runtime += result.runtime_s
@@ -112,6 +117,7 @@ def run_comparison(
             generations=ga_generations,
             seed=seed,
         ),
+        engine=engine,
     )
     ga_result = ga.run()
 

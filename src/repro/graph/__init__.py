@@ -18,23 +18,30 @@ architecture models) and provides:
   and benchmarks.
 """
 
-from repro.graph.dag import Dag
+from repro.graph.dag import Dag, NodeInterner
 from repro.graph.closure import PathCountClosure
 from repro.graph.maxplus import MaxPlusClosure, NEG_INF
 from repro.graph.longest_path import (
     topological_order,
     longest_path_length,
     earliest_start_times,
+    earliest_starts_indexed,
+    kahn_order_indices,
+    makespan_from_starts,
     critical_path,
 )
 
 __all__ = [
     "Dag",
+    "NodeInterner",
     "PathCountClosure",
     "MaxPlusClosure",
     "NEG_INF",
     "topological_order",
     "longest_path_length",
     "earliest_start_times",
+    "earliest_starts_indexed",
+    "kahn_order_indices",
+    "makespan_from_starts",
     "critical_path",
 ]

@@ -172,17 +172,25 @@ class Dag:
     # global structure
     # ------------------------------------------------------------------
     def topological_order(self) -> List[Node]:
-        """Kahn's algorithm; raises :class:`CycleError` if cyclic."""
+        """Kahn's algorithm; raises :class:`CycleError` if cyclic.
+
+        The ready set is consumed FIFO, so the returned order is a
+        breadth-first layering that depends only on node/edge insertion
+        order — deterministic across runs and Python versions (dicts
+        preserve insertion order).  Downstream longest-path values never
+        depend on which valid order is used, but a stable order keeps
+        traces, schedules and regression tests reproducible.
+        """
         indeg = {n: len(p) for n, p in self._pred.items()}
-        ready = [n for n, d in indeg.items() if d == 0]
-        order: List[Node] = []
-        while ready:
-            node = ready.pop()
-            order.append(node)
+        order = [n for n, d in indeg.items() if d == 0]
+        head = 0
+        while head < len(order):
+            node = order[head]
+            head += 1
             for succ in self._succ[node]:
                 indeg[succ] -= 1
                 if indeg[succ] == 0:
-                    ready.append(succ)
+                    order.append(succ)
         if len(order) != len(self._succ):
             raise CycleError(
                 "graph contains a cycle",
@@ -280,3 +288,54 @@ class Dag:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Dag(nodes={len(self)}, edges={self.num_edges()})"
+
+
+class NodeInterner:
+    """Bidirectional mapping between hashable node keys and dense ids.
+
+    The array-backed evaluation fast path
+    (:class:`repro.mapping.engine.IncrementalEngine`) interns every
+    search-graph node — task indices, ``(COMM_NODE, src, dst)`` tuples,
+    ``(CONFIG_NODE, rc)`` tuples — to a dense integer once per problem
+    instance, then runs Kahn's sort and the longest-path DP over flat
+    lists indexed by those ids instead of dict-of-dicts keyed by tuples.
+
+    Ids are allocated contiguously from 0 in first-intern order and are
+    never recycled, so arrays indexed by id only ever grow.
+    """
+
+    __slots__ = ("_ids", "_keys")
+
+    def __init__(self, keys: Optional[Iterable[Node]] = None) -> None:
+        self._ids: Dict[Node, int] = {}
+        self._keys: List[Node] = []
+        if keys is not None:
+            for key in keys:
+                self.intern(key)
+
+    def intern(self, key: Node) -> int:
+        """Return the dense id of ``key``, allocating one if needed."""
+        node_id = self._ids.get(key)
+        if node_id is None:
+            node_id = len(self._keys)
+            self._ids[key] = node_id
+            self._keys.append(key)
+        return node_id
+
+    def id_of(self, key: Node) -> int:
+        """Dense id of an already-interned key (KeyError otherwise)."""
+        return self._ids[key]
+
+    def key_of(self, node_id: int) -> Node:
+        """Original node key for a dense id."""
+        return self._keys[node_id]
+
+    def __contains__(self, key: Node) -> bool:
+        return key in self._ids
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> List[Node]:
+        """All interned keys, in id order (index == id)."""
+        return list(self._keys)

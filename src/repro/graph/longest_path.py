@@ -8,10 +8,26 @@ reconfiguration delays.
 The functions operate directly on :class:`~repro.graph.dag.Dag`
 adjacency (no copies), with node weights read from a callable so the
 mapping layer can plug in assignment-dependent execution times.
+
+Two families live here:
+
+* the :class:`Dag`-based functions (``earliest_start_times``,
+  ``longest_path_length``, ``critical_path``, ``bottom_levels``) used by
+  analysis, scheduling and the full-rebuild evaluation engine;
+* generic array-backed kernels (``kahn_order_indices``,
+  ``earliest_starts_indexed``, ``makespan_from_starts``) operating on
+  dense integer node ids and flat edge arrays, equivalents of the
+  ``Dag`` functions without tuple-key hashing
+  (``tests/graph/test_array_kernels.py`` proves the equivalence).
+  :class:`repro.mapping.engine.IncrementalEngine` computes its base
+  topological order through ``kahn_order_indices`` and inlines
+  further-specialized DP variants that exploit its fixed node-id
+  layout.
 """
 
 from __future__ import annotations
 
+from math import isclose
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import CycleError
@@ -114,14 +130,22 @@ def critical_path(
             best_finish = finish
     if best_node is None:
         return 0.0, []
-    # Walk backwards along tight predecessors.
+    # Walk backwards along tight predecessors.  Tightness is a *relative*
+    # comparison: an absolute epsilon (the old ``< 1e-12``) fails for
+    # durations far from 1.0 — microsecond-scale graphs would match every
+    # predecessor, second-scale graphs none (float error exceeds 1e-12).
     path = [best_node]
     pred = dag.pred
     current = best_node
     while True:
         found = None
         for prev, edge_w in pred[current].items():
-            if abs(start[prev] + node_weight(prev) + edge_w - start[current]) < 1e-12:
+            if isclose(
+                start[prev] + node_weight(prev) + edge_w,
+                start[current],
+                rel_tol=1e-9,
+                abs_tol=0.0,
+            ):
                 found = prev
                 break
         if found is None:
@@ -130,6 +154,148 @@ def critical_path(
         current = found
     path.reverse()
     return best_finish, path
+
+
+# ----------------------------------------------------------------------
+# array-backed kernels (dense integer node ids, flat edge arrays)
+# ----------------------------------------------------------------------
+def kahn_order_indices(
+    num_nodes: int,
+    indegree: Sequence[int],
+    successors: Sequence[Sequence[int]],
+    keys: Optional[Sequence[Hashable]] = None,
+    successors2: Optional[Sequence[Sequence[int]]] = None,
+    chain_next: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Kahn's algorithm over dense ids; raises :class:`CycleError`.
+
+    ``indegree`` is copied (the caller's array is not consumed) and
+    ``successors[u]`` lists the targets of every edge out of ``u``
+    (parallel edges appear once per edge, matching their contribution to
+    ``indegree``).  ``successors2`` optionally overlays a second edge
+    layer, so a caller can keep a static skeleton and a mutable overlay
+    in separate structures without merging them; ``chain_next``
+    optionally overlays chain edges in pointer-array form (at most one
+    outgoing chain edge per node, ``-1`` meaning none — how the
+    incremental engine stores processor orders).  The ready set is
+    consumed FIFO, mirroring
+    :meth:`repro.graph.dag.Dag.topological_order`.  ``keys`` maps ids
+    back to original node identifiers for the cycle report.
+    """
+    indeg = list(indegree)
+    order = [v for v in range(num_nodes) if indeg[v] == 0]
+    head = 0
+    while head < len(order):
+        node = order[head]
+        head += 1
+        for succ in successors[node]:
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                order.append(succ)
+        if successors2 is not None:
+            for succ in successors2[node]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    order.append(succ)
+        if chain_next is not None:
+            succ = chain_next[node]
+            if succ >= 0:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    order.append(succ)
+    if len(order) != num_nodes:
+        stuck = [v for v in range(num_nodes) if indeg[v] > 0]
+        raise CycleError(
+            "graph contains a cycle",
+            cycle=[keys[v] for v in stuck] if keys is not None else stuck,
+        )
+    return order
+
+
+def earliest_starts_indexed(
+    order: Sequence[int],
+    pred_edges: Sequence[Sequence[int]],
+    edge_src: Sequence[int],
+    edge_weight: Sequence[float],
+    durations: Sequence[float],
+    starts: Optional[List[float]] = None,
+    chain_pred: Optional[Sequence[int]] = None,
+    pred_pairs2: Optional[Sequence[Sequence[Tuple[int, float]]]] = None,
+    finish: Optional[List[float]] = None,
+) -> List[float]:
+    """ASAP start times over flat arrays.
+
+    ``pred_edges[v]`` holds *edge ids*; edge ``ei`` runs from
+    ``edge_src[ei]`` to ``v`` with weight ``edge_weight[ei]``.  Node
+    durations are charged on the source side exactly like
+    :func:`earliest_start_times` (``start[u] + dur[u] + w``), so the two
+    DPs produce bit-identical floats on identical graphs (the maximum
+    over an identical candidate set does not depend on iteration order).
+    ``pred_pairs2`` overlays a second edge layer in ``(src, weight)``
+    pair form; ``chain_pred`` optionally adds one zero-weight
+    predecessor per node (a serialization chain), ``-1`` meaning none.
+    ``starts`` may be a preallocated buffer of length >= num nodes;
+    ``finish``, when given, receives ``starts[v] + durations[v]`` per
+    node so the caller can reduce the makespan with a C-level ``max``.
+    """
+    if starts is None:
+        starts = [0.0] * len(pred_edges)
+    if finish is None:
+        for v in order:
+            best = 0.0
+            for ei in pred_edges[v]:
+                u = edge_src[ei]
+                candidate = starts[u] + durations[u] + edge_weight[ei]
+                if candidate > best:
+                    best = candidate
+            if pred_pairs2 is not None:
+                for u, w in pred_pairs2[v]:
+                    candidate = starts[u] + durations[u] + w
+                    if candidate > best:
+                        best = candidate
+            if chain_pred is not None:
+                u = chain_pred[v]
+                if u >= 0:
+                    candidate = starts[u] + durations[u]
+                    if candidate > best:
+                        best = candidate
+            starts[v] = best
+        return starts
+    # Finish-folding variant: each candidate reads the predecessor's
+    # precomputed finish time ((start + dur) + w associates exactly like
+    # start + dur + w, so the floats are unchanged).
+    for v in order:
+        best = 0.0
+        for ei in pred_edges[v]:
+            candidate = finish[edge_src[ei]] + edge_weight[ei]
+            if candidate > best:
+                best = candidate
+        if pred_pairs2 is not None:
+            for u, w in pred_pairs2[v]:
+                candidate = finish[u] + w
+                if candidate > best:
+                    best = candidate
+        if chain_pred is not None:
+            u = chain_pred[v]
+            if u >= 0:
+                candidate = finish[u]
+                if candidate > best:
+                    best = candidate
+        starts[v] = best
+        finish[v] = best + durations[v]
+    return starts
+
+
+def makespan_from_starts(
+    starts: Sequence[float], durations: Sequence[float], num_nodes: int
+) -> float:
+    """Max finish time over the first ``num_nodes`` ids (0.0 if none)."""
+    best = 0.0
+    for v in range(num_nodes):
+        finish = starts[v] + durations[v]
+        if finish > best:
+            best = finish
+    return best
 
 
 def bottom_levels(

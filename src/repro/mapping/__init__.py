@@ -10,6 +10,13 @@ solution's execution time (section 4.4).
 
 from repro.mapping.solution import Solution, random_initial_solution
 from repro.mapping.search_graph import SearchGraph, SearchGraphBuilder, COMM_NODE
+from repro.mapping.engine import (
+    ENGINES,
+    EvaluationEngine,
+    FullRebuildEngine,
+    IncrementalEngine,
+    make_engine,
+)
 from repro.mapping.evaluator import Evaluation, Evaluator
 from repro.mapping.schedule import Schedule, ScheduleEntry, extract_schedule
 from repro.mapping.gantt import render_gantt
@@ -27,6 +34,11 @@ __all__ = [
     "SearchGraph",
     "SearchGraphBuilder",
     "COMM_NODE",
+    "ENGINES",
+    "EvaluationEngine",
+    "FullRebuildEngine",
+    "IncrementalEngine",
+    "make_engine",
     "Evaluation",
     "Evaluator",
     "Schedule",

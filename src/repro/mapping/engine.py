@@ -1,0 +1,1297 @@
+"""Pluggable evaluation engines (the annealer's hot path).
+
+Scoring a candidate solution — longest path of the realized search graph
+(paper section 4.4) — is the single operation every optimizer in this
+library performs thousands of times per run.  This module puts that
+operation behind one interface with two implementations:
+
+* :class:`FullRebuildEngine` — the reference semantics, extracted from
+  the original ``Evaluator``/``SearchGraphBuilder`` pipeline: rebuild
+  the whole :class:`~repro.graph.dag.Dag` from scratch for every
+  candidate and run the dict-based longest-path DP.
+* :class:`IncrementalEngine` — an array-backed fast path.  All search
+  graph nodes (tasks, communication nodes, virtual configuration nodes)
+  are interned to dense integer ids once per problem instance
+  (:class:`~repro.graph.dag.NodeInterner`); the solution-independent
+  precedence skeleton (dependency endpoints, transfer times, potential
+  communication nodes, CLB tables) is cached; and after each move only
+  the solution-dependent parts are delta-patched — task durations, the
+  crossing state of each dependency, and the sequentialization edges of
+  the (typically one or two) resources a move actually touched.  The
+  ASAP/longest-path DP then runs over flat lists (a layout-specialized
+  variant of :func:`~repro.graph.longest_path.earliest_starts_indexed`)
+  instead of dict-of-dicts keyed by hashable tuples, and the
+  topological order is cached and invalidated only on structural
+  change.
+
+Both engines produce **bit-identical** makespans: they evaluate the same
+graph with the same float operations in the same association order, and
+serialize shared-bus transactions with the same deterministic ASAP sort.
+``tests/mapping/test_engine_parity.py`` replays hundreds of random move
+sequences to enforce this.
+
+Select an engine through ``Evaluator(..., engine="incremental")``, the
+``DesignSpaceExplorer(engine=...)`` knob, or the CLI ``--engine`` flag;
+``benchmarks/bench_engine.py`` measures the throughput gap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.architecture import Architecture
+from repro.arch.asic import Asic
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import CONFIG_NODE, ReconfigurableCircuit
+from repro.arch.resource import Resource
+from repro.errors import ConfigurationError, CycleError, MappingError
+from repro.graph.dag import NodeInterner
+from repro.graph.longest_path import kahn_order_indices
+from repro.mapping.search_graph import COMM_NODE, SearchGraph, SearchGraphBuilder
+from repro.mapping.solution import Solution
+from repro.model.application import Application
+
+#: Cost of infeasible (cyclic) realizations.
+INFEASIBLE_MS = math.inf
+
+#: Names accepted by :func:`make_engine` / ``Evaluator(engine=...)``.
+ENGINES = ("full", "incremental")
+
+def _kind_is_hw(kind: Tuple) -> bool:
+    """Does a classified resource host *hardware* tasks (the ones
+    ``Solution.hardware_tasks`` counts)?"""
+    tag = kind[0]
+    return tag == "rc" or tag == "asic" or (tag == "?" and kind[2])
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Outcome of evaluating one candidate solution."""
+
+    makespan_ms: float
+    feasible: bool
+    num_contexts: int
+    hw_tasks: int
+    sw_tasks: int
+    initial_reconfig_ms: float
+    dynamic_reconfig_ms: float
+    comm_ms: float
+    clbs_used: int
+
+    @property
+    def reconfig_ms(self) -> float:
+        """Total reconfiguration time (initial + dynamic), Fig. 3's sum."""
+        return self.initial_reconfig_ms + self.dynamic_reconfig_ms
+
+    def meets(self, deadline_ms: float) -> bool:
+        return self.feasible and self.makespan_ms <= deadline_ms
+
+
+class EvaluationEngine(ABC):
+    """Realizes and scores candidate solutions of one problem instance.
+
+    An engine is constructed once per ``(application, architecture,
+    bus_policy)`` and then called with candidate
+    :class:`~repro.mapping.solution.Solution` objects; it owns whatever
+    caches it needs across calls.  All optimizers (annealer, hill
+    climber, tabu, GA) drive their move-evaluate-undo loops through this
+    interface, usually via the :class:`~repro.mapping.evaluator.Evaluator`
+    facade.
+    """
+
+    #: Engine name as accepted by :func:`make_engine`.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        application: Application,
+        architecture: Architecture,
+        bus_policy: str = "ordered",
+    ) -> None:
+        self.application = application
+        self.architecture = architecture
+        #: Reference builder: realizes solutions as explicit
+        #: :class:`SearchGraph` objects (schedule extraction, debugging)
+        #: and validates ``bus_policy``.
+        self.builder = SearchGraphBuilder(application, architecture, bus_policy)
+        self.bus_policy = bus_policy
+        #: Number of evaluations performed (exposed for benchmarks).
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def realize(self, solution: Solution) -> SearchGraph:
+        """Build the search graph without computing its longest path."""
+        return self.builder.build(solution)
+
+    @abstractmethod
+    def makespan_ms(self, solution: Solution) -> float:
+        """Longest path only (the optimizers' hot path); infeasible
+        (cyclic) realizations return :data:`INFEASIBLE_MS`."""
+
+    @abstractmethod
+    def evaluate(self, solution: Solution, strict: bool = False) -> Evaluation:
+        """Score ``solution``; cyclic realizations yield an infeasible
+        evaluation (``makespan = inf``) unless ``strict`` re-raises."""
+
+
+class FullRebuildEngine(EvaluationEngine):
+    """Reference engine: rebuild the search graph for every candidate.
+
+    This is the original ``Evaluator`` behavior verbatim — every call
+    constructs a fresh :class:`~repro.graph.dag.Dag`, reruns Kahn's sort
+    and the dict-based DP.  It is the semantic baseline the incremental
+    engine is checked against.
+    """
+
+    name = "full"
+
+    def makespan_ms(self, solution: Solution) -> float:
+        self.evaluations += 1
+        graph = self.builder.build(solution)
+        try:
+            return graph.makespan_ms()
+        except CycleError:
+            return INFEASIBLE_MS
+
+    def evaluate(self, solution: Solution, strict: bool = False) -> Evaluation:
+        self.evaluations += 1
+        graph = self.builder.build(solution)
+        try:
+            makespan = graph.makespan_ms()
+            feasible = True
+        except CycleError:
+            if strict:
+                raise
+            makespan = INFEASIBLE_MS
+            feasible = False
+
+        initial = 0.0
+        dynamic = 0.0
+        clbs = 0
+        num_contexts = 0
+        for rc in solution.architecture.reconfigurable_circuits():
+            initial += rc.initial_reconfiguration_ms(solution)
+            dynamic += rc.dynamic_reconfiguration_ms(solution)
+            contexts = solution.contexts(rc.name)
+            num_contexts += len(contexts)
+            clbs += sum(
+                solution.context_clbs(rc.name, k) for k in range(len(contexts))
+            )
+        hw = len(solution.hardware_tasks())
+        return Evaluation(
+            makespan_ms=makespan,
+            feasible=feasible,
+            num_contexts=num_contexts,
+            hw_tasks=hw,
+            sw_tasks=len(self.application.task_indices()) - hw,
+            initial_reconfig_ms=initial,
+            dynamic_reconfig_ms=dynamic,
+            comm_ms=graph.total_comm_ms(),
+            clbs_used=clbs,
+        )
+
+
+class IncrementalEngine(EvaluationEngine):
+    """Array-backed engine with cached skeleton and delta-patching.
+
+    The engine mirrors the last-seen solution state (per-task assignment
+    and implementation choice, per-resource orders) and on each call
+    diffs the incoming solution against that mirror — O(N) C-speed list
+    comparisons — to patch only what a move actually changed.  Rejected
+    moves need no special rollback support: after ``undo`` the next diff
+    simply patches the state back.
+
+    The search graph is kept in two edge layers:
+
+    * a **static dependency layer**, built once: every application
+      dependency is permanently wired ``src -> comm -> dst`` through its
+      interned communication node.  When the transfer is active (edge
+      crosses resources under the ``"ordered"`` policy), the transfer
+      time is the comm node's duration; when inactive, it is the weight
+      of the ``src -> comm`` edge (``0`` for same-resource edges) and
+      the comm node's duration is zero.  Both routings produce the same
+      float candidates as the reference graph's direct edge, so a move
+      that flips an edge's crossing state is a pure O(1) weight patch —
+      the layer's structure, indegrees and reachability never change;
+    * a **sequentialization layer** holding per-resource ``Esw``/``Ehw``
+      edges, recomputed only for resources whose order actually changed
+      (a move touches at most two) and rebuilt into reused buffers only
+      when some resource's edge *pairs* changed — weight-only changes
+      (e.g. an implementation swap retuning reconfiguration delays) are
+      written in place.
+
+    The topological order, the cycle verdict and the serialized bus
+    order are cached on top and invalidated only when the
+    sequentialization layer's structure changes (the static layer cannot
+    invalidate them).  Per-RC reconfiguration statistics for the Fig. 3
+    decomposition are cached alongside.
+
+    ``Processor``/``ReconfigurableCircuit``/``Asic`` contributions are
+    generated natively over the interned arrays; unknown
+    :class:`Resource` subclasses fall back to calling the resource's own
+    ``sequentialization_edges``/``virtual_nodes`` on every evaluation
+    (conservative but correct).
+    """
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        application: Application,
+        architecture: Architecture,
+        bus_policy: str = "ordered",
+    ) -> None:
+        super().__init__(application, architecture, bus_policy)
+        self._build_skeleton(architecture.bus)
+
+    # ------------------------------------------------------------------
+    # one-time skeleton (solution-independent)
+    # ------------------------------------------------------------------
+    def _build_skeleton(self, bus) -> None:
+        self._bus = bus
+        self._ordered = self.bus_policy == "ordered"
+        app = self.application
+        tasks = app.task_indices()
+        self._tasks: List[int] = list(tasks)
+        self._ntasks = len(tasks)
+        self._interner = NodeInterner(tasks)
+        self._tid: Dict[int, int] = {t: i for i, t in enumerate(tasks)}
+
+        # Per-task tables: software time, hardware implementation CLBs
+        # and times (None for software-only tasks), precedence adjacency
+        # over dense ids.
+        self._sw_ms: List[float] = [0.0] * self._ntasks
+        self._impl_clbs: List[Optional[List[int]]] = [None] * self._ntasks
+        self._impl_ms: List[Optional[List[float]]] = [None] * self._ntasks
+        self._pred_ids: List[List[int]] = [[] for _ in range(self._ntasks)]
+        self._succ_ids: List[List[int]] = [[] for _ in range(self._ntasks)]
+        tid = self._tid
+        for i, t in enumerate(tasks):
+            task = app.task(t)
+            self._sw_ms[i] = task.sw_time_ms
+            if task.hardware_capable:
+                self._impl_clbs[i] = [impl.clbs for impl in task.implementations]
+                self._impl_ms[i] = [impl.time_ms for impl in task.implementations]
+
+        dep_srct: List[int] = []
+        dep_dstt: List[int] = []
+        dep_src: List[int] = []
+        dep_dst: List[int] = []
+        dep_transfer: List[float] = []
+        dep_comm: List[int] = []
+        deps_of_task: List[List[int]] = [[] for _ in range(self._ntasks)]
+        for src, dst, kbytes in app.dependencies():
+            j = len(dep_srct)
+            s, d = tid[src], tid[dst]
+            dep_srct.append(src)
+            dep_dstt.append(dst)
+            dep_src.append(s)
+            dep_dst.append(d)
+            dep_transfer.append(bus.transfer_time_ms(kbytes))
+            dep_comm.append(self._interner.intern((COMM_NODE, src, dst)))
+            deps_of_task[s].append(j)
+            deps_of_task[d].append(j)
+            self._pred_ids[d].append(s)
+            self._succ_ids[s].append(d)
+        self._dep_srct = dep_srct
+        self._dep_dstt = dep_dstt
+        self._dep_src = dep_src
+        self._dep_dst = dep_dst
+        self._dep_transfer = dep_transfer
+        self._dep_comm = dep_comm
+        self._deps_of_task = deps_of_task
+        ndeps = len(dep_srct)
+        self._ndeps = ndeps
+
+        # Static dependency layer: dep j is permanently wired
+        # ``src -> comm -> dst`` where comm is the dense id ``ntasks +
+        # j`` (interning order guarantees contiguity).  The ``src ->
+        # comm`` weight is the only mutable part; the ``comm -> dst``
+        # edge is always 0, so task-side predecessors reduce to a plain
+        # list of comm ids whose *finish* times are the candidates.
+        # This structure — and therefore its indegrees and reachability
+        # — never changes after construction.
+        n = len(self._interner)
+        assert all(dep_comm[j] == self._ntasks + j for j in range(ndeps))
+        self._comm_w: List[float] = [0.0] * ndeps
+        pred_comms: List[List[int]] = [[] for _ in range(n)]
+        succ_static: List[List[int]] = [[] for _ in range(n)]
+        indeg_static = [0] * n
+        for j in range(ndeps):
+            s, c, d = dep_src[j], dep_comm[j], dep_dst[j]
+            pred_comms[d].append(c)
+            succ_static[s].append(c)
+            succ_static[c].append(d)
+            indeg_static[c] += 1
+            indeg_static[d] += 1
+        self._pred_comms = pred_comms
+        self._succ_static = succ_static
+        self._indeg_static = indeg_static
+        # Processor total orders as prev/next pointer arrays: a task sits
+        # on at most one processor, so one array pair covers them all and
+        # replacing a processor's chain is plain integer stores.
+        self._proc_prev: List[int] = [-1] * n
+        self._proc_next: List[int] = [-1] * n
+
+        # Memos that survive mirror resets: context boundaries depend
+        # only on the static precedence graph, and layout/order memos
+        # are keyed by globally-unique revision stamps.
+        self._ctx_memo: Dict[Tuple, Tuple[int, List[int], List[int]]] = {}
+        self._rc_memo: Dict[int, Tuple] = {}
+        self._proc_memo: Dict[int, List[int]] = {}
+
+        # Dynamic (solution-dependent) state, reset to "never seen".
+        self._dur: List[float] = [0.0] * n
+        self._starts_buf: List[float] = [0.0] * n
+        self._finish_buf: List[float] = [0.0] * n
+        self._res_kind: Dict[str, Tuple] = {}
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Forget all mirrored solution state (forces a full re-sync)."""
+        n = len(self._interner)
+        # Durations mirror solution state too: the re-sync recomputes
+        # task and comm durations (every task diffs) and re-stamps
+        # active config nodes, but a config node whose RC ends up empty
+        # is only zeroed via _virtual_ids — which is being reset here —
+        # so clear the whole array rather than leak a stale duration.
+        for node_id in range(len(self._dur)):
+            self._dur[node_id] = 0.0
+        self._m_resource: List[Optional[str]] = [None] * self._ntasks
+        self._m_impl: List[int] = [-1] * self._ntasks
+        # After a reset the arrays mirror the empty assignment, so empty
+        # dicts are the matching wholesale-comparison baseline.
+        self._m_res_dict: Dict[int, str] = {}
+        self._m_impl_dict: Dict[int, int] = {}
+        self._m_res_names: List[str] = []
+        self._m_rev: Dict[str, int] = {}
+        self._rc_list: List[Tuple[str, ReconfigurableCircuit]] = []
+        self._res_edges: Dict[str, List[Tuple[int, int, float]]] = {}
+        self._virtual_ids: Dict[str, List[int]] = {}
+        self._rc_stats: Dict[str, Tuple[int, float, float, int]] = {}
+        self._hw_count = 0
+        self._dep_mode: List[int] = [-1] * self._ndeps
+        self._active_deps: List[int] = []
+        self._active_dirty = True
+        # Sequentialization layer: maintained edge by edge as resources
+        # change.  ``pred_seq[v]`` holds ``(src, weight)`` pairs; the
+        # combined indegrees are kept in step so Kahn never needs a
+        # recount pass.
+        self._pred_seq: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        self._succ_seq: List[List[int]] = [[] for _ in range(n)]
+        self._indeg_total: List[int] = list(self._indeg_static)
+        for v in range(n):
+            self._proc_prev[v] = -1
+            self._proc_next[v] = -1
+        self._proc_members: Dict[str, List[int]] = {}
+        # Cached base topological orders as ``[order, position, valid]``
+        # entries.  An entry stays valid until an *added* edge
+        # contradicts its positions (checked in O(1) per added edge);
+        # removals never invalidate.  The serialized order is derived
+        # from the base order by splicing the active comm nodes into
+        # chain order (Kahn is only the fallback), and is valid exactly
+        # while its source base order and the chain permutation hold.
+        self._orders0: List[List] = []
+        self._cycle0: Optional[CycleError] = None
+        self._order1: Optional[List[int]] = None
+        self._order1_src: Optional[List[int]] = None
+        self._pos1: List[int] = [0] * n
+        self._dirty: List[bool] = [False] * n
+        self._chain_perm: Optional[List[int]] = None
+        self._chain_pred: List[int] = [-1] * n
+        self._chain_next: List[int] = [-1] * n
+
+    def _classify_resources(self, arch: Architecture) -> None:
+        """(Re)build the resource kind table.  Entries are kept for
+        resources that left the architecture: a removed resource's name
+        can still appear as a task's *previous* assignment in the very
+        diff that rehomes the task (move m3).
+
+        Exact types get the array fast paths; *subclasses* of the
+        built-in resources (which may override timing or edge emission)
+        fall back to the polymorphic ``"?"`` path, whose third field
+        records whether the resource hosts hardware tasks (RC/ASIC
+        lineage) for the hardware-task counter."""
+        for res in arch.resources():
+            name = res.name
+            if name not in self._res_kind or self._res_kind[name][1] is not res:
+                kind = type(res)
+                if kind is Processor:
+                    self._res_kind[name] = ("p", res, res.speed_factor)
+                elif kind is ReconfigurableCircuit:
+                    self._res_kind[name] = ("rc", res)
+                elif kind is Asic:
+                    self._res_kind[name] = ("asic", res)
+                else:
+                    is_hw = isinstance(res, (ReconfigurableCircuit, Asic))
+                    self._res_kind[name] = ("?", res, is_hw)
+
+    # ------------------------------------------------------------------
+    # delta synchronization
+    # ------------------------------------------------------------------
+    def _sync(self, solution: Solution) -> None:
+        arch = solution.architecture
+        if arch.bus is not self._bus:
+            # Transfer times were precomputed against another bus; this
+            # never happens in the optimizers (snapshots share the bus
+            # object) but stay correct if a caller swaps it.
+            self._build_skeleton(arch.bus)
+
+        names = arch.resource_names()
+        if names != self._m_res_names:
+            self._classify_resources(arch)
+            for name in set(self._m_res_names) - set(names):
+                if name in self._proc_members:
+                    self._set_proc_chain(name, [])
+                    self._proc_members.pop(name, None)
+                else:
+                    self._set_res_edges(name, [])
+                self._m_rev.pop(name, None)
+                self._res_edges.pop(name, None)
+                self._rc_stats.pop(name, None)
+                for node_id in self._virtual_ids.pop(name, ()):
+                    self._dur[node_id] = 0.0
+            self._m_res_names = list(names)
+            self._rc_list = [
+                (r.name, r)
+                for r in arch.resources()
+                if isinstance(r, ReconfigurableCircuit)
+            ]
+
+        # Per-task assignment / implementation diff -> durations, deps
+        # and the hardware-task count.  The wholesale dict comparisons
+        # skip the scan entirely for order-only moves (m1 reorders).
+        res_of = solution._resource_of
+        impl_of = solution._impl_choice
+        res_kind = self._res_kind
+        if len(res_of) != self._ntasks:
+            # Match the reference engine, which trips over the missing
+            # assignment while realizing the graph; without this guard a
+            # partially assigned solution would silently score with
+            # zero durations for the unassigned tasks.
+            for t in self._tasks:
+                if t not in res_of:
+                    raise MappingError(f"task {t} is not assigned")
+        if res_of != self._m_res_dict or impl_of != self._m_impl_dict:
+            # The symmetric item differences pick out exactly the tasks
+            # a move touched, at C speed; the mirror dicts are patched
+            # key by key instead of recopied.
+            m_res_dict = self._m_res_dict
+            m_impl_dict = self._m_impl_dict
+            diff = {t for t, _ in res_of.items() ^ m_res_dict.items()}
+            diff.update(t for t, _ in impl_of.items() ^ m_impl_dict.items())
+            tid = self._tid
+            m_res = self._m_resource
+            m_impl = self._m_impl
+            changed: List[int] = []
+            for t in diff:
+                r = res_of.get(t)
+                if r is None:
+                    m_res_dict.pop(t, None)
+                else:
+                    m_res_dict[t] = r
+                raw = impl_of.get(t)
+                if raw is None:
+                    m_impl_dict.pop(t, None)
+                    c = 0
+                else:
+                    m_impl_dict[t] = raw
+                    c = raw
+                i = tid[t]
+                old_r = m_res[i]
+                if r == old_r and c == m_impl[i]:
+                    continue
+                if r != old_r:
+                    if old_r is not None and _kind_is_hw(res_kind[old_r]):
+                        self._hw_count -= 1
+                    if r is not None and _kind_is_hw(res_kind[r]):
+                        self._hw_count += 1
+                m_res[i] = r
+                m_impl[i] = c
+                changed.append(i)
+            if changed:
+                dur = self._dur
+                impl_ms = self._impl_ms
+                sw_ms = self._sw_ms
+                for i in changed:
+                    kind = res_kind[m_res[i]]
+                    if kind[0] == "p":
+                        dur[i] = sw_ms[i] / kind[2]
+                    elif kind[0] == "?" or impl_ms[i] is None:
+                        dur[i] = kind[1].execution_time_ms(solution, self._tasks[i])
+                    else:
+                        dur[i] = impl_ms[i][m_impl[i]]
+                for i in changed:
+                    for j in self._deps_of_task[i]:
+                        self._refresh_dep(j)
+
+        # Per-resource sequentialization edges, gated by the solution's
+        # revision stamps: an untouched resource is skipped outright, and
+        # a restored stamp (move undo) guarantees restored content.
+        rev_of = solution._res_rev
+        m_rev = self._m_rev
+        pending: List[Tuple[str, str, object]] = []
+        for name in names:
+            rev = rev_of.get(name, 0)
+            if m_rev.get(name) == rev:
+                continue
+            kind = res_kind[name]
+            tag = kind[0]
+            if tag == "p":
+                memo = self._proc_memo
+                members = memo.get(rev)
+                if members is None:
+                    tid = self._tid
+                    members = [tid[t] for t in solution._sw_orders[name]]
+                    if len(memo) > 16384:
+                        memo.clear()
+                    memo[rev] = members
+                pending.append(("p", name, members))
+            elif tag == "rc":
+                triples = self._refresh_rc(
+                    name, kind[1], solution._contexts[name], rev, impl_of
+                )
+                pending.append(("e", name, triples))
+            elif tag != "asic":
+                # Unknown resource type: conservatively refresh on every
+                # call through the resource's own polymorphic methods
+                # (no revision skip — overridden methods may depend on
+                # state the stamps do not cover).
+                triples = self._refresh_generic(name, kind[1], solution)
+                pending.append(("e", name, triples))
+                continue
+            m_rev[name] = rev
+        if len(pending) == 1:
+            # Common case (one or two moves touching one resource's
+            # order): apply in place with the delta fast paths.
+            tag, name, payload = pending[0]
+            if tag == "p":
+                self._set_proc_chain(name, payload)
+            else:
+                self._set_res_edges(name, payload)
+        elif pending:
+            # An edge pair can migrate between two resources refreshed
+            # in the same diff; unlink every stale chain/edge list first
+            # so no link is clobbered by a later unlink.
+            for tag, name, _payload in pending:
+                if tag == "p":
+                    self._unlink_proc_chain(name)
+                else:
+                    self._unlink_res_edges(name)
+            for tag, name, payload in pending:
+                if tag == "p":
+                    self._link_proc_chain(name, payload)
+                else:
+                    self._link_res_edges(name, payload)
+
+    def _refresh_dep(self, j: int) -> None:
+        """Re-derive a dependency's realization from the mirrored
+        assignment.  Purely a weight/duration patch: the dependency is
+        permanently wired through its comm node, so flipping between
+        active transfer (duration on the comm node) and pass-through
+        (weight on the ``src -> comm`` edge) never changes structure."""
+        crossing = self._m_resource[self._dep_src[j]] != self._m_resource[self._dep_dst[j]]
+        transfer = self._dep_transfer[j]
+        comm_id = self._dep_comm[j]
+        if crossing and transfer > 0.0 and self._ordered:
+            mode = 1
+            self._comm_w[j] = 0.0
+            self._dur[comm_id] = transfer
+        else:
+            mode = 0
+            self._comm_w[j] = transfer if crossing else 0.0
+            self._dur[comm_id] = 0.0
+        if mode != self._dep_mode[j]:
+            self._dep_mode[j] = mode
+            self._active_dirty = True
+
+    def _refresh_rc(
+        self,
+        name: str,
+        rc: ReconfigurableCircuit,
+        contexts: List[List[int]],
+        rev: int,
+        impl_of: Dict[int, int],
+    ) -> List[Tuple[int, int, float]]:
+        """Native regeneration of a DRLC's search-graph contribution:
+        context sequentialization edges ``Ehw``, the virtual
+        configuration node, and the cached reconfiguration statistics.
+        Mirrors ``ReconfigurableCircuit.sequentialization_edges`` /
+        ``virtual_nodes`` exactly, over interned arrays.  Realized
+        layouts are memoized by the resource's revision stamp — a stamp
+        is handed out once and restored only together with its content,
+        so it keys the layout exactly (and annealing, which undoes every
+        rejected move, revisits stamps constantly)."""
+        if not contexts:
+            for node_id in self._virtual_ids.pop(name, ()):
+                self._dur[node_id] = 0.0
+            self._rc_stats[name] = (0, 0.0, 0.0, 0)
+            return []
+        tid = self._tid
+        m_impl = self._m_impl
+        layouts = self._rc_memo
+        entry = layouts.get(rev)
+        config_id = self._interner.intern((CONFIG_NODE, name))
+        self._grow_nodes()
+        if entry is None:
+            impl_clbs = self._impl_clbs
+            ctx_clbs: List[int] = []
+            initials: List[List[int]] = []
+            terminals: List[List[int]] = []
+            memo = self._ctx_memo
+            if len(memo) > 16384:
+                memo.clear()
+            for ctx in contexts:
+                # One context realizes identically whenever its member
+                # tasks and their implementation choices recur — and
+                # individual contexts recur far more often than whole
+                # layouts, so this memo hits even though the annealing
+                # walk rarely revisits a complete layout.
+                key = (tuple(ctx), tuple(impl_of.get(t, 0) for t in ctx))
+                cached = memo.get(key)
+                if cached is None:
+                    members = [tid[t] for t in ctx]
+                    inside = set(members)
+                    pred_ids = self._pred_ids
+                    succ_ids = self._succ_ids
+                    cached = (
+                        sum(impl_clbs[i][m_impl[i]] for i in members),
+                        [i for i in members
+                         if not any(p in inside for p in pred_ids[i])],
+                        [i for i in members
+                         if not any(s in inside for s in succ_ids[i])],
+                    )
+                    memo[key] = cached
+                ctx_clbs.append(cached[0])
+                initials.append(cached[1])
+                terminals.append(cached[2])
+            triples: List[Tuple[int, int, float]] = [
+                (config_id, i, 0.0) for i in initials[0]
+            ]
+            reconfig = rc.reconfiguration_time_ms
+            for k in range(len(contexts) - 1):
+                weight = reconfig(ctx_clbs[k + 1])
+                for t in terminals[k]:
+                    for i in initials[k + 1]:
+                        triples.append((t, i, weight))
+            initial_ms = reconfig(ctx_clbs[0])
+            stats = (
+                len(contexts),
+                initial_ms,
+                sum(reconfig(c) for c in ctx_clbs[1:]),
+                sum(ctx_clbs),
+            )
+            if len(layouts) > 16384:
+                layouts.clear()
+            entry = (triples, initial_ms, stats)
+            layouts[rev] = entry
+        triples, initial_ms, stats = entry
+        self._dur[config_id] = initial_ms
+        self._virtual_ids[name] = [config_id]
+        self._rc_stats[name] = stats
+        return triples
+
+    def _refresh_generic(
+        self, name: str, res: Resource, solution: Solution
+    ) -> List[Tuple[int, int, float]]:
+        """Fallback for unknown resource types: delegate to the
+        resource's polymorphic search-graph contribution."""
+        intern = self._interner.intern
+        triples = [
+            (intern(a), intern(b), w)
+            for a, b, w in res.sequentialization_edges(solution)
+        ]
+        virtual = getattr(res, "virtual_nodes", None)
+        entries = virtual(solution) if virtual is not None else []
+        new_ids = [intern(key) for key, _duration in entries]
+        self._grow_nodes()
+        for node_id in self._virtual_ids.get(name, ()):
+            self._dur[node_id] = 0.0
+        for (_key, duration), node_id in zip(entries, new_ids):
+            self._dur[node_id] = duration
+        self._virtual_ids[name] = new_ids
+        return triples
+
+    def _set_proc_chain(self, name: str, members: List[int]) -> None:
+        """Replace a processor's total-order chain (``Esw``) in place —
+        safe when this is the only resource refreshed in the sync."""
+        if self._proc_members.get(name) == members:
+            return
+        self._unlink_proc_chain(name)
+        self._link_proc_chain(name, members)
+
+    def _unlink_proc_chain(self, name: str) -> None:
+        old = self._proc_members.get(name)
+        if not old:
+            self._proc_members[name] = []
+            return
+        proc_prev = self._proc_prev
+        proc_next = self._proc_next
+        indeg = self._indeg_total
+        prev = old[0]
+        for v in old[1:]:
+            indeg[v] -= 1
+            proc_prev[v] = -1
+            proc_next[prev] = -1
+            prev = v
+        # A removal may have broken the cycle behind a cached verdict;
+        # retry Kahn on the next evaluation.
+        self._cycle0 = None
+        self._proc_members[name] = []
+
+    def _link_proc_chain(self, name: str, members: List[int]) -> None:
+        """Store a processor chain's prev/next pointers, keep indegrees
+        in step, and invalidate cached orders that an added pair
+        contradicts.  Pure integer stores — no list surgery."""
+        if members:
+            proc_prev = self._proc_prev
+            proc_next = self._proc_next
+            indeg = self._indeg_total
+            orders0 = self._orders0
+            self._order1 = None
+            prev = members[0]
+            for v in members[1:]:
+                proc_next[prev] = v
+                proc_prev[v] = prev
+                indeg[v] += 1
+                for entry in orders0:
+                    if entry[2] and entry[1][prev] >= entry[1][v]:
+                        entry[2] = False
+                prev = v
+        self._proc_members[name] = members
+
+    def _unlink_res_edges(self, name: str) -> None:
+        """Remove a resource's sequentialization edges from the live seq
+        layer (phase 1 of a multi-resource refresh)."""
+        old = self._res_edges.get(name)
+        if not old:
+            self._res_edges[name] = []
+            return
+        pred_seq = self._pred_seq
+        succ_seq = self._succ_seq
+        indeg = self._indeg_total
+        for a, b, _w in old:
+            succ_seq[a].remove(b)
+            plist = pred_seq[b]
+            for idx in range(len(plist)):
+                if plist[idx][0] == a:
+                    del plist[idx]
+                    break
+            indeg[b] -= 1
+        self._cycle0 = None
+        self._res_edges[name] = []
+
+    def _link_res_edges(
+        self, name: str, triples: List[Tuple[int, int, float]]
+    ) -> None:
+        """Insert a resource's sequentialization edges (phase 2 of a
+        multi-resource refresh)."""
+        if triples:
+            pred_seq = self._pred_seq
+            succ_seq = self._succ_seq
+            indeg = self._indeg_total
+            orders0 = self._orders0
+            self._order1 = None
+            for a, b, w in triples:
+                succ_seq[a].append(b)
+                pred_seq[b].append((a, w))
+                indeg[b] += 1
+                for entry in orders0:
+                    if entry[2] and entry[1][a] >= entry[1][b]:
+                        entry[2] = False
+        self._res_edges[name] = triples
+
+    def _set_res_edges(
+        self, name: str, triples: List[Tuple[int, int, float]]
+    ) -> None:
+        """Replace a resource's sequentialization edges in the live seq
+        layer, in place — safe when this is the only resource refreshed
+        in the sync.  Old edges are unlinked, new ones linked, indegrees
+        kept in step.  Cached topological orders survive unless an added
+        edge contradicts them (position check); removals never
+        invalidate.  Seq edge pairs are unique within one resource — it
+        only ever chains its own tasks and its own config node — so
+        unlinking by (src, dst) is unambiguous."""
+        old = self._res_edges.get(name)
+        if old == triples:
+            return
+        # Unlink/link only the differing middle: a reorder or reassign
+        # perturbs a contiguous region of a resource's chain, so the
+        # common prefix and suffix (compared as (src, dst, weight)
+        # triples) can stay linked untouched.
+        lo = 0
+        if old:
+            n_old, n_new = len(old), len(triples)
+            hi = min(n_old, n_new)
+            while lo < hi and old[lo] == triples[lo]:
+                lo += 1
+            tail = 0
+            while (
+                tail < hi - lo
+                and old[n_old - 1 - tail] == triples[n_new - 1 - tail]
+            ):
+                tail += 1
+            removals = old[lo:n_old - tail]
+            additions = triples[lo:n_new - tail]
+        else:
+            removals = ()
+            additions = triples
+        structural = len(removals) != len(additions) or any(
+            r[0] != a[0] or r[1] != a[1] for r, a in zip(removals, additions)
+        )
+        pred_seq = self._pred_seq
+        succ_seq = self._succ_seq
+        indeg = self._indeg_total
+        if removals:
+            for a, b, _w in removals:
+                succ_seq[a].remove(b)
+                plist = pred_seq[b]
+                for idx in range(len(plist)):
+                    if plist[idx][0] == a:
+                        del plist[idx]
+                        break
+                indeg[b] -= 1
+            if structural:
+                # A removal may have broken the cycle behind a cached
+                # verdict; retry Kahn on the next evaluation.
+                self._cycle0 = None
+        if structural:
+            orders0 = self._orders0
+            # The serialized order's task placement mirrors a specific
+            # base order; any structural seq change may reorder tasks.
+            self._order1 = None
+            for a, b, w in additions:
+                succ_seq[a].append(b)
+                pred_seq[b].append((a, w))
+                indeg[b] += 1
+                for entry in orders0:
+                    if entry[2] and entry[1][a] >= entry[1][b]:
+                        entry[2] = False
+        else:
+            # Weight-only change: same pairs back with new weights, no
+            # order or cycle cache is affected.
+            for a, b, w in additions:
+                succ_seq[a].append(b)
+                pred_seq[b].append((a, w))
+                indeg[b] += 1
+        self._res_edges[name] = triples
+
+    def _grow_nodes(self) -> None:
+        n = len(self._interner)
+        if len(self._dur) < n:
+            while len(self._dur) < n:
+                self._dur.append(0.0)
+                self._starts_buf.append(0.0)
+                self._finish_buf.append(0.0)
+                self._pred_comms.append([])
+                self._succ_static.append([])
+                self._indeg_static.append(0)
+                self._pred_seq.append([])
+                self._succ_seq.append([])
+                self._indeg_total.append(0)
+                self._proc_prev.append(-1)
+                self._proc_next.append(-1)
+                self._pos1.append(0)
+                self._dirty.append(False)
+                self._chain_pred.append(-1)
+                self._chain_next.append(-1)
+            # Cached orders do not contain the new nodes yet.
+            self._orders0.clear()
+            self._order1 = None
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _compute(
+        self, solution: Solution
+    ) -> Tuple[float, bool, float, Optional[CycleError]]:
+        """Returns ``(makespan, feasible, comm_ms, cycle_error)``."""
+        self._sync(solution)
+        if self._active_dirty:
+            dep_mode = self._dep_mode
+            self._active_deps = [
+                j for j in range(self._ndeps) if dep_mode[j] == 1
+            ]
+            self._active_dirty = False
+        n = len(self._interner)
+        dur = self._dur
+        dep_comm = self._dep_comm
+
+        entry0: Optional[List] = None
+        for entry in self._orders0:
+            if entry[2]:
+                entry0 = entry
+                break
+        if entry0 is None and self._cycle0 is None:
+            try:
+                order = self._kahn_base(n)
+            except CycleError as exc:
+                self._cycle0 = exc
+            else:
+                pos = [0] * n
+                for idx, v in enumerate(order):
+                    pos[v] = idx
+                entry0 = [order, pos, True]
+                self._orders0.insert(0, entry0)
+                del self._orders0[2:]
+        if entry0 is None:
+            comm_ms = sum(dur[dep_comm[j]] for j in self._active_deps)
+            return INFEASIBLE_MS, False, comm_ms, self._cycle0
+        order0 = entry0[0]
+
+        finish = self._finish_buf
+        starts = self._dp(order0)
+        active = self._active_deps
+        if not active:
+            return max(finish), True, 0.0, None
+
+        # Serialize bus transactions: ASAP order in the unserialized
+        # graph, ties broken by (source task, destination task) — the
+        # exact deterministic policy of SearchGraphBuilder._serialize_bus.
+        srct = self._dep_srct
+        dstt = self._dep_dstt
+        ntasks = self._ntasks
+        keyed = sorted(
+            (starts[ntasks + j], srct[j], dstt[j], j) for j in active
+        )
+        perm = [key[3] for key in keyed]
+        chain_pred = self._chain_pred
+        chain_next = self._chain_next
+        if perm != self._chain_perm:
+            if self._chain_perm:
+                for j in self._chain_perm:
+                    comm = dep_comm[j]
+                    chain_pred[comm] = -1
+                    chain_next[comm] = -1
+            prev = dep_comm[perm[0]]
+            for j in perm[1:]:
+                comm = dep_comm[j]
+                chain_pred[comm] = prev
+                chain_next[prev] = comm
+                prev = comm
+            self._chain_perm = perm
+            self._order1 = None
+        order1 = self._order1
+        if order1 is None or self._order1_src is not order0:
+            pos1 = self._pos1
+            order1 = self._splice_order1(entry0, perm)
+            if order1 is not None:
+                pos1[:] = entry0[1]
+                slots = sorted(entry0[1][dep_comm[j]] for j in perm)
+                for slot, j in zip(slots, perm):
+                    pos1[dep_comm[j]] = slot
+            else:
+                indeg1 = list(self._indeg_total)
+                for j in perm[1:]:
+                    indeg1[dep_comm[j]] += 1
+                try:
+                    order1 = self._kahn_chained(n, indeg1, chain_next)
+                except CycleError as exc:
+                    # Cannot happen for positive transfer durations (see
+                    # SearchGraphBuilder._serialize_bus) but mirror the
+                    # full engine: a cyclic serialized realization is
+                    # infeasible.
+                    self._order1 = None
+                    comm_ms = sum(dur[dep_comm[j]] for j in perm)
+                    return INFEASIBLE_MS, False, comm_ms, exc
+                for idx, v in enumerate(order1):
+                    pos1[v] = idx
+            self._order1 = order1
+            self._order1_src = order0
+        # The chain only *adds* constraints on top of the base DP, so the
+        # serialized start times are an increase-only delta: seed with
+        # the comm nodes whose chain predecessor actually binds, then
+        # propagate in serialized-topological order.  When no chain edge
+        # binds, the base DP already is the serialized answer.
+        self._dp_chain_delta(perm)
+        comm_ms = sum(dur[dep_comm[j]] for j in perm)
+        return max(finish), True, comm_ms, None
+
+    def _dp(self, order: List[int]) -> List[float]:
+        """ASAP/longest-path DP over the *unserialized* graph,
+        specialized to the engine's id layout: comm nodes (ids
+        ``[ntasks, ntasks + ndeps)``) have exactly one predecessor;
+        tasks and config nodes take the max over comm finish times (the
+        ``comm -> dst`` edges all weigh 0), the processor-chain
+        predecessor, and seq-layer ``(src, weight)`` pairs.  Produces
+        floats bit-identical to the reference dict DP: every candidate
+        is ``(start[u] + dur[u]) + w`` in the same association order.
+        Fills ``self._starts_buf``/``self._finish_buf``."""
+        lo = self._ntasks
+        hi = lo + self._ndeps
+        comm_src = self._dep_src
+        comm_w = self._comm_w
+        pred_comms = self._pred_comms
+        pred_seq = self._pred_seq
+        proc_prev = self._proc_prev
+        dur = self._dur
+        starts = self._starts_buf
+        finish = self._finish_buf
+        for v in order:
+            if lo <= v < hi:
+                j = v - lo
+                best = finish[comm_src[j]] + comm_w[j]
+                if best < 0.0:
+                    best = 0.0  # mirror the reference DP's 0.0 floor
+            else:
+                best = 0.0
+                for c in pred_comms[v]:
+                    candidate = finish[c]
+                    if candidate > best:
+                        best = candidate
+                u = proc_prev[v]
+                if u >= 0:
+                    candidate = finish[u]
+                    if candidate > best:
+                        best = candidate
+                for u, w in pred_seq[v]:
+                    candidate = finish[u] + w
+                    if candidate > best:
+                        best = candidate
+            starts[v] = best
+            finish[v] = best + dur[v]
+        return starts
+
+    def _dp_chain_delta(self, perm: List[int]) -> None:
+        """Upgrade the base DP in ``starts``/``finish`` to the serialized
+        DP by increase-only propagation.  Chain edges can only delay
+        starts, so nodes unaffected by a binding chain edge keep their
+        base values — which are exactly the serialized values (identical
+        candidate sets).  Processes the affected cone in serialized
+        topological order via a position-keyed heap."""
+        dep_comm = self._dep_comm
+        starts = self._starts_buf
+        finish = self._finish_buf
+        chain_pred = self._chain_pred
+        pos1 = self._pos1
+        dirty = self._dirty
+        heap: List[Tuple[int, int]] = []
+        push = heapq.heappush
+        prev = dep_comm[perm[0]]
+        for j in perm[1:]:
+            c = dep_comm[j]
+            if finish[prev] > starts[c] and not dirty[c]:
+                dirty[c] = True
+                push(heap, (pos1[c], c))
+            prev = c
+        if not heap:
+            return
+        lo = self._ntasks
+        hi = lo + self._ndeps
+        comm_src = self._dep_src
+        comm_w = self._comm_w
+        pred_comms = self._pred_comms
+        pred_seq = self._pred_seq
+        proc_prev = self._proc_prev
+        succ_static = self._succ_static
+        succ_seq = self._succ_seq
+        proc_next = self._proc_next
+        chain_next = self._chain_next
+        dur = self._dur
+        pop = heapq.heappop
+        while heap:
+            _pos, v = pop(heap)
+            if not dirty[v]:
+                continue
+            dirty[v] = False
+            if lo <= v < hi:
+                j = v - lo
+                best = finish[comm_src[j]] + comm_w[j]
+                if best < 0.0:
+                    best = 0.0
+                u = chain_pred[v]
+                if u >= 0:
+                    candidate = finish[u]
+                    if candidate > best:
+                        best = candidate
+            else:
+                best = 0.0
+                for c in pred_comms[v]:
+                    candidate = finish[c]
+                    if candidate > best:
+                        best = candidate
+                u = proc_prev[v]
+                if u >= 0:
+                    candidate = finish[u]
+                    if candidate > best:
+                        best = candidate
+                for u, w in pred_seq[v]:
+                    candidate = finish[u] + w
+                    if candidate > best:
+                        best = candidate
+            if best != starts[v]:
+                starts[v] = best
+                finish[v] = best + dur[v]
+                for nxt in succ_static[v]:
+                    if not dirty[nxt]:
+                        dirty[nxt] = True
+                        push(heap, (pos1[nxt], nxt))
+                for nxt in succ_seq[v]:
+                    if not dirty[nxt]:
+                        dirty[nxt] = True
+                        push(heap, (pos1[nxt], nxt))
+                nxt = proc_next[v]
+                if nxt >= 0 and not dirty[nxt]:
+                    dirty[nxt] = True
+                    push(heap, (pos1[nxt], nxt))
+                nxt = chain_next[v]
+                if nxt >= 0 and not dirty[nxt]:
+                    dirty[nxt] = True
+                    push(heap, (pos1[nxt], nxt))
+
+    def _splice_order1(
+        self, entry0: List, perm: List[int]
+    ) -> Optional[List[int]]:
+        """Derive the serialized order from the base order by permuting
+        the active comm nodes — among the positions they already occupy
+        — into chain order.  All other nodes keep their relative base
+        order (valid for the base edges); the chain edges are satisfied
+        because ascending positions receive the chain sequence.  The
+        only conditions to verify are each comm's own task neighbors:
+        ``pos(src) < q < pos(dst)`` for its landing position ``q``.
+        Returns None when a comm lands outside its window (fall back to
+        Kahn)."""
+        order0, pos0, _valid = entry0
+        dep_comm = self._dep_comm
+        dep_src = self._dep_src
+        dep_dst = self._dep_dst
+        comms = [dep_comm[j] for j in perm]
+        slots = sorted(pos0[c] for c in comms)
+        for slot, j in zip(slots, perm):
+            if pos0[dep_src[j]] >= slot or pos0[dep_dst[j]] <= slot:
+                return None
+        order1 = list(order0)
+        for slot, c in zip(slots, comms):
+            order1[slot] = c
+        return order1
+
+    def _kahn_base(self, n: int) -> List[int]:
+        """FIFO Kahn over the static layer, the seq layer and the
+        processor chains; raises :class:`CycleError`."""
+        return kahn_order_indices(
+            n, self._indeg_total, self._succ_static,
+            self._interner.keys(), self._succ_seq, self._proc_next,
+        )
+
+    def _kahn_chained(
+        self, n: int, indeg: List[int], chain_next: List[int]
+    ) -> List[int]:
+        """Kahn over all edge layers plus the bus chain overlay."""
+        order = [v for v in range(n) if indeg[v] == 0]
+        succ_static = self._succ_static
+        succ_seq = self._succ_seq
+        proc_next = self._proc_next
+        head = 0
+        while head < len(order):
+            node = order[head]
+            head += 1
+            for nxt in succ_static[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    order.append(nxt)
+            for nxt in succ_seq[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    order.append(nxt)
+            nxt = proc_next[node]
+            if nxt >= 0:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    order.append(nxt)
+            nxt = chain_next[node]
+            if nxt >= 0:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    order.append(nxt)
+        if len(order) != n:
+            keys = self._interner.keys()
+            raise CycleError(
+                "serialized realization contains a cycle",
+                cycle=[keys[v] for v in range(n) if indeg[v] > 0],
+            )
+        return order
+
+    def _guarded_compute(
+        self, solution: Solution
+    ) -> Tuple[float, bool, float, Optional[CycleError]]:
+        try:
+            return self._compute(solution)
+        except CycleError:
+            raise
+        except Exception:
+            # The mirror may be half-updated (e.g. an unassigned task
+            # surfaced mid-diff); drop it so the next call re-syncs from
+            # scratch instead of trusting stale state.
+            self._invalidate()
+            raise
+
+    # ------------------------------------------------------------------
+    def makespan_ms(self, solution: Solution) -> float:
+        self.evaluations += 1
+        makespan, _feasible, _comm, _exc = self._guarded_compute(solution)
+        return makespan
+
+    def evaluate(self, solution: Solution, strict: bool = False) -> Evaluation:
+        self.evaluations += 1
+        makespan, feasible, comm_ms, exc = self._guarded_compute(solution)
+        if not feasible and strict and exc is not None:
+            raise exc
+        # Fig. 3 decomposition from the cached per-RC statistics (the
+        # full engine recomputes these sums from the solution; the values
+        # are identical, accumulated in the same resource order).  RC
+        # subclasses on the generic path have no cached stats and are
+        # recomputed the full engine's way.
+        initial = 0.0
+        dynamic = 0.0
+        clbs = 0
+        num_contexts = 0
+        rc_stats = self._rc_stats
+        for name, rc in self._rc_list:
+            stats = rc_stats.get(name)
+            if stats is not None:
+                num_contexts += stats[0]
+                initial += stats[1]
+                dynamic += stats[2]
+                clbs += stats[3]
+            else:
+                initial += rc.initial_reconfiguration_ms(solution)
+                dynamic += rc.dynamic_reconfiguration_ms(solution)
+                contexts = solution.contexts(name)
+                num_contexts += len(contexts)
+                clbs += sum(
+                    solution.context_clbs(name, k)
+                    for k in range(len(contexts))
+                )
+        hw = self._hw_count
+        return Evaluation(
+            makespan_ms=makespan,
+            feasible=feasible,
+            num_contexts=num_contexts,
+            hw_tasks=hw,
+            sw_tasks=self._ntasks - hw,
+            initial_reconfig_ms=initial,
+            dynamic_reconfig_ms=dynamic,
+            comm_ms=comm_ms,
+            clbs_used=clbs,
+        )
+
+
+def make_engine(
+    name: str,
+    application: Application,
+    architecture: Architecture,
+    bus_policy: str = "ordered",
+) -> EvaluationEngine:
+    """Instantiate an evaluation engine by name (``"full"`` or
+    ``"incremental"``); raises :class:`ConfigurationError` otherwise."""
+    if name == "full":
+        return FullRebuildEngine(application, architecture, bus_policy)
+    if name == "incremental":
+        return IncrementalEngine(application, architecture, bus_policy)
+    raise ConfigurationError(
+        f"engine must be one of {ENGINES}, got {name!r}"
+    )

@@ -4,45 +4,32 @@ After each move the performance of the new solution is the longest path
 of the realized search graph.  The evaluator also decomposes the result
 the way the paper's Fig. 3 reports it: execution time = reconfiguration
 time (initial + dynamic) + computation and communication time.
+
+Since the engine refactor this class is a thin facade over the pluggable
+evaluation engines of :mod:`repro.mapping.engine`: ``engine="full"``
+(default) rebuilds the search graph per candidate exactly as the
+original implementation did, ``engine="incremental"`` routes through the
+array-backed delta-patching fast path.  Both produce bit-identical
+makespans (enforced by ``tests/mapping/test_engine_parity.py``).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Union
 
 from repro.arch.architecture import Architecture
-from repro.errors import CycleError
-from repro.mapping.search_graph import SearchGraph, SearchGraphBuilder
+from repro.mapping.engine import (
+    ENGINES,
+    Evaluation,
+    EvaluationEngine,
+    INFEASIBLE_MS,
+    make_engine,
+)
+from repro.mapping.search_graph import SearchGraph
 from repro.mapping.solution import Solution
 from repro.model.application import Application
 
-#: Cost of infeasible (cyclic) realizations.
-INFEASIBLE_MS = math.inf
-
-
-@dataclass(frozen=True)
-class Evaluation:
-    """Outcome of evaluating one candidate solution."""
-
-    makespan_ms: float
-    feasible: bool
-    num_contexts: int
-    hw_tasks: int
-    sw_tasks: int
-    initial_reconfig_ms: float
-    dynamic_reconfig_ms: float
-    comm_ms: float
-    clbs_used: int
-
-    @property
-    def reconfig_ms(self) -> float:
-        """Total reconfiguration time (initial + dynamic), Fig. 3's sum."""
-        return self.initial_reconfig_ms + self.dynamic_reconfig_ms
-
-    def meets(self, deadline_ms: float) -> bool:
-        return self.feasible and self.makespan_ms <= deadline_ms
+__all__ = ["Evaluation", "Evaluator", "INFEASIBLE_MS", "ENGINES"]
 
 
 class Evaluator:
@@ -52,6 +39,11 @@ class Evaluator:
     as the paper's transaction order requires; ``"edge"`` charges
     transfer times on the precedence edges without bus exclusiveness
     (the ablation in ``benchmarks/bench_ablation_bus.py``).
+
+    ``engine`` selects the evaluation strategy: ``"full"`` (reference
+    semantics, rebuild per candidate), ``"incremental"`` (array-based
+    fast path), or an already-constructed
+    :class:`~repro.mapping.engine.EvaluationEngine` instance.
     """
 
     def __init__(
@@ -59,63 +51,45 @@ class Evaluator:
         application: Application,
         architecture: Architecture,
         bus_policy: str = "ordered",
+        engine: Union[str, EvaluationEngine] = "full",
     ) -> None:
         self.application = application
         self.architecture = architecture
-        self.builder = SearchGraphBuilder(application, architecture, bus_policy)
-        #: Number of evaluations performed (exposed for benchmarks).
-        self.evaluations = 0
+        if isinstance(engine, EvaluationEngine):
+            self.engine = engine
+        else:
+            self.engine = make_engine(engine, application, architecture, bus_policy)
+        #: Kept for backward compatibility: the reference search-graph
+        #: builder (every engine carries one for ``realize``).
+        self.builder = self.engine.builder
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
+
+    @property
+    def bus_policy(self) -> str:
+        return self.engine.bus_policy
+
+    @property
+    def evaluations(self) -> int:
+        """Number of evaluations performed (exposed for benchmarks)."""
+        return self.engine.evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.engine.evaluations = value
 
     # ------------------------------------------------------------------
     def realize(self, solution: Solution) -> SearchGraph:
         """Build the search graph without computing its longest path."""
-        return self.builder.build(solution)
+        return self.engine.realize(solution)
 
     def evaluate(self, solution: Solution, strict: bool = False) -> Evaluation:
         """Score ``solution``; cyclic realizations yield an infeasible
         evaluation (``makespan = inf``) unless ``strict`` re-raises."""
-        self.evaluations += 1
-        graph = self.builder.build(solution)
-        try:
-            makespan = graph.makespan_ms()
-            feasible = True
-        except CycleError:
-            if strict:
-                raise
-            makespan = INFEASIBLE_MS
-            feasible = False
-
-        initial = 0.0
-        dynamic = 0.0
-        clbs = 0
-        num_contexts = 0
-        for rc in solution.architecture.reconfigurable_circuits():
-            initial += rc.initial_reconfiguration_ms(solution)
-            dynamic += rc.dynamic_reconfiguration_ms(solution)
-            contexts = solution.contexts(rc.name)
-            num_contexts += len(contexts)
-            clbs += sum(
-                solution.context_clbs(rc.name, k) for k in range(len(contexts))
-            )
-
-        hw = len(solution.hardware_tasks())
-        return Evaluation(
-            makespan_ms=makespan,
-            feasible=feasible,
-            num_contexts=num_contexts,
-            hw_tasks=hw,
-            sw_tasks=len(self.application.task_indices()) - hw,
-            initial_reconfig_ms=initial,
-            dynamic_reconfig_ms=dynamic,
-            comm_ms=graph.total_comm_ms(),
-            clbs_used=clbs,
-        )
+        return self.engine.evaluate(solution, strict=strict)
 
     def makespan_ms(self, solution: Solution) -> float:
         """Shortcut: longest path only (hot path of the annealer)."""
-        self.evaluations += 1
-        graph = self.builder.build(solution)
-        try:
-            return graph.makespan_ms()
-        except CycleError:
-            return INFEASIBLE_MS
+        return self.engine.makespan_ms(solution)

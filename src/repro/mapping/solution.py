@@ -8,6 +8,7 @@ deep copies.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -18,6 +19,14 @@ from repro.arch.reconfigurable import ReconfigurableCircuit
 from repro.arch.resource import Resource
 from repro.errors import CapacityError, MappingError
 from repro.model.application import Application
+
+#: Global monotonic revision source for per-resource change stamps.  A
+#: revision value is handed out exactly once, so a given ``(resource,
+#: revision)`` pair always denotes the same mapping content — undoing a
+#: move restores the old stamp together with the old content, and the
+#: incremental evaluation engine exploits that to skip untouched
+#: resources and memoize realized layouts by stamp.
+_REVISION = itertools.count(1)
 
 
 class Solution:
@@ -53,6 +62,13 @@ class Solution:
         # Sticky per-task implementation choice (kept when a task moves
         # back to software, so re-offloading restores the same variant).
         self._impl_choice: Dict[int, int] = {}
+        # Per-resource change stamps (see _REVISION).  Every mutation of
+        # a resource's mapping state re-stamps it; move snapshots save
+        # and restore the stamps together with the content.
+        self._res_rev: Dict[str, int] = {}
+
+    def _touch(self, resource_name: str) -> None:
+        self._res_rev[resource_name] = next(_REVISION)
 
     # ------------------------------------------------------------------
     # basic queries
@@ -130,6 +146,11 @@ class Solution:
         task = self.application.task(task_index)
         task.implementation(choice)  # validates the index
         self._impl_choice[task_index] = choice
+        # The variant's area/time feeds the hosting resource's realized
+        # durations and reconfiguration weights.
+        name = self._resource_of.get(task_index)
+        if name is not None:
+            self._touch(name)
 
     def task_clbs(self, task_index: int) -> int:
         """CLBs of the task's currently selected implementation."""
@@ -180,6 +201,7 @@ class Solution:
         name = self._resource_of.pop(task_index, None)
         if name is None:
             return
+        self._touch(name)
         if name in self._sw_orders:
             self._sw_orders[name].remove(task_index)
         elif name in self._contexts:
@@ -213,6 +235,7 @@ class Solution:
                 )
             order.insert(position, task_index)
         self._resource_of[task_index] = processor_name
+        self._touch(processor_name)
 
     def assign_to_context(
         self,
@@ -246,6 +269,7 @@ class Solution:
             contexts.append([])
         contexts[context_index].append(task_index)
         self._resource_of[task_index] = rc_name
+        self._touch(rc_name)
 
     def spawn_context(
         self,
@@ -278,6 +302,7 @@ class Solution:
             position = len(contexts)
         contexts.insert(position, [task_index])
         self._resource_of[task_index] = rc_name
+        self._touch(rc_name)
         return position
 
     def assign_to_asic(self, task_index: int, asic_name: str) -> None:
@@ -289,6 +314,7 @@ class Solution:
         self.unassign(task_index)
         self._asic_tasks[asic_name].append(task_index)
         self._resource_of[task_index] = asic_name
+        self._touch(asic_name)
 
     # ------------------------------------------------------------------
     # resource-set mutation (architecture exploration, moves m3/m4)
@@ -304,6 +330,7 @@ class Solution:
             self._asic_tasks[resource.name] = []
         else:  # pragma: no cover - defensive
             raise MappingError(f"unknown resource type {type(resource).__name__}")
+        self._touch(resource.name)
 
     def detach_resource(self, name: str) -> Resource:
         """Remove an *empty* resource from the system (move m3)."""
@@ -321,6 +348,7 @@ class Solution:
             del self._asic_tasks[name]
         else:
             raise MappingError(f"no resource named {name!r}")
+        self._res_rev.pop(name, None)
         return self.architecture.remove_resource(name)
 
     # ------------------------------------------------------------------
@@ -391,6 +419,7 @@ class Solution:
         }
         clone._asic_tasks = {k: list(v) for k, v in self._asic_tasks.items()}
         clone._impl_choice = dict(self._impl_choice)
+        clone._res_rev = dict(self._res_rev)
         return clone
 
     def summary(self) -> str:

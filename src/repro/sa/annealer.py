@@ -12,6 +12,13 @@ The engine is *anytime*: iteration is exposed as a generator, so callers
 can stop whenever they wish and keep the best solution so far (section
 4: "it can be interrupted by the user at any time and will then return
 the current solution").
+
+The whole move-evaluate-undo loop routes through the pluggable
+evaluation-engine layer (:mod:`repro.mapping.engine`): ``evaluator`` may
+be an :class:`~repro.mapping.evaluator.Evaluator` facade or any
+:class:`~repro.mapping.engine.EvaluationEngine`.  With the incremental
+engine, a rejected move's ``undo`` needs no second rebuild — the
+engine's next state diff simply patches the mutated pieces back.
 """
 
 from __future__ import annotations

@@ -65,6 +65,11 @@ class DesignSpaceExplorer:
         with ``p_zero > 0`` and a catalog for architecture exploration.
     bus_policy:
         ``"ordered"`` (transaction serialization, default) or ``"edge"``.
+    engine:
+        Evaluation engine: ``"full"`` (reference rebuild-per-candidate)
+        or ``"incremental"`` (array-based delta-patching fast path; same
+        makespans, several times the throughput).  See
+        :mod:`repro.mapping.engine`.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class DesignSpaceExplorer:
         keep_trace: bool = True,
         stall_limit: Optional[int] = None,
         initial_hw_fraction: Optional[float] = None,
+        engine: str = "full",
     ) -> None:
         application.validate()
         architecture.validate()
@@ -91,7 +97,9 @@ class DesignSpaceExplorer:
         self.architecture = architecture
         self.seed = seed
         self.initial_hw_fraction = initial_hw_fraction
-        self.evaluator = Evaluator(application, architecture, bus_policy)
+        self.evaluator = Evaluator(
+            application, architecture, bus_policy, engine=engine
+        )
         self.move_generator = MoveGenerator(
             application, p_zero=p_zero, p_impl=p_impl, catalog=catalog
         )

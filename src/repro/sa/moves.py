@@ -62,6 +62,7 @@ Snapshot = Tuple[
     Dict[str, List[List[int]]],
     Dict[str, List[int]],
     Dict[int, int],
+    Dict[str, int],
 ]
 
 
@@ -72,16 +73,21 @@ def snapshot_solution(solution: Solution) -> Snapshot:
         {k: [list(c) for c in v] for k, v in solution._contexts.items()},
         {k: list(v) for k, v in solution._asic_tasks.items()},
         dict(solution._impl_choice),
+        dict(solution._res_rev),
     )
 
 
 def restore_solution(solution: Solution, snapshot: Snapshot) -> None:
-    resource_of, sw_orders, contexts, asic_tasks, impl_choice = snapshot
+    resource_of, sw_orders, contexts, asic_tasks, impl_choice, res_rev = snapshot
     solution._resource_of = dict(resource_of)
     solution._sw_orders = {k: list(v) for k, v in sw_orders.items()}
     solution._contexts = {k: [list(c) for c in v] for k, v in contexts.items()}
     solution._asic_tasks = {k: list(v) for k, v in asic_tasks.items()}
     solution._impl_choice = dict(impl_choice)
+    # Restoring the revision stamps with the content keeps the stamp ->
+    # content correspondence exact, so the incremental evaluation engine
+    # sees an undone move as "nothing changed" for untouched resources.
+    solution._res_rev = dict(res_rev)
 
 
 class Move(ABC):

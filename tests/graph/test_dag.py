@@ -113,6 +113,20 @@ class TestTopology:
         for src, dst, _ in diamond.edges():
             assert pos[src] < pos[dst]
 
+    def test_topological_order_is_fifo_deterministic(self):
+        """Kahn's ready set drains FIFO: the order is the breadth-first
+        layering in node insertion order, stable across runs/versions."""
+        dag = Dag()
+        for n in (10, 20, 30, 40, 50):
+            dag.add_node(n)
+        dag.add_edge(10, 40)
+        dag.add_edge(30, 40)
+        dag.add_edge(20, 50)
+        # Sources in insertion order (10, 20, 30), then newly freed
+        # nodes in the order their last predecessor was processed.
+        assert dag.topological_order() == [10, 20, 30, 50, 40]
+        assert dag.topological_order() == dag.topological_order()
+
     def test_cycle_detection(self):
         dag = Dag()
         dag.add_edge(0, 1)

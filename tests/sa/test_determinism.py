@@ -1,0 +1,43 @@
+"""Determinism regression: seeded explorer results are pinned.
+
+``Dag.topological_order`` is FIFO-deterministic and the evaluation
+engines are bit-identical, so a seeded :class:`DesignSpaceExplorer` run
+must reproduce the exact same best makespan on every run, Python
+version, and engine.  If an engine or graph refactor silently drifts
+semantics, this pin catches it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.architecture import epicure_architecture
+from repro.model.motion import motion_detection_application
+from repro.sa.explorer import DesignSpaceExplorer
+
+#: Exact best makespan of the seeded reference run below.  Update only
+#: when a change is *supposed* to alter optimization semantics — and
+#: then explain why in the commit message.
+PINNED_BEST_MAKESPAN_MS = 50.164142537967514
+
+
+def _run(engine: str) -> float:
+    explorer = DesignSpaceExplorer(
+        motion_detection_application(),
+        epicure_architecture(n_clbs=2000),
+        iterations=600,
+        warmup_iterations=200,
+        seed=42,
+        keep_trace=False,
+        engine=engine,
+    )
+    return explorer.run().best_evaluation.makespan_ms
+
+
+@pytest.mark.parametrize("engine", ["full", "incremental"])
+def test_seeded_explorer_best_makespan_is_pinned(engine):
+    assert _run(engine) == PINNED_BEST_MAKESPAN_MS
+
+
+def test_seeded_explorer_is_repeatable():
+    assert _run("full") == _run("full")
