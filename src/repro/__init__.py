@@ -84,8 +84,19 @@ from repro.sa import (
     MoveGenerator,
     SimulatedAnnealing,
 )
+from repro.search import (
+    InstanceSpec,
+    SearchBudget,
+    SearchJob,
+    SearchResult,
+    SearchStrategy,
+    StrategySpec,
+    derive_seeds,
+    run_portfolio,
+    run_search_jobs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -112,5 +123,9 @@ __all__ = [
     "AnnealerConfig", "DesignSpaceExplorer", "ExplorationResult",
     "GeometricSchedule", "LamDelosmeSchedule", "ModifiedLamSchedule",
     "MoveGenerator", "SimulatedAnnealing",
+    # search subsystem
+    "SearchStrategy", "SearchBudget", "SearchResult",
+    "StrategySpec", "InstanceSpec", "SearchJob",
+    "run_search_jobs", "run_portfolio", "derive_seeds",
     "__version__",
 ]

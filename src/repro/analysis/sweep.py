@@ -4,18 +4,31 @@ For each FPGA capacity, run the explorer ``runs`` times with different
 seeds and average execution time, initial/dynamic reconfiguration time
 and number of contexts — exactly the three curves of Fig. 3 (the paper
 averages 100 runs per size).
+
+The per-run work is submitted through the parallel runner
+(:mod:`repro.search.runner`): ``jobs=N`` fans the ``sizes × runs`` grid
+across N worker processes, and ``checkpoint_path`` makes a long sweep
+resumable.  Rows are bit-identical for any ``jobs`` because every run
+is independently seeded and the aggregation order is fixed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import summarize
 from repro.arch.architecture import epicure_architecture
 from repro.errors import ConfigurationError
 from repro.model.application import Application
 from repro.sa.explorer import DesignSpaceExplorer
+from repro.search.runner import (
+    InstanceSpec,
+    SearchJob,
+    StrategySpec,
+    best_evaluation_of,
+    run_search_jobs,
+)
 
 
 @dataclass(frozen=True)
@@ -61,16 +74,71 @@ def run_device_sweep(
     seed0: int = 1,
     explorer_factory: Optional[Callable[[int, int], DesignSpaceExplorer]] = None,
     engine: str = "full",
+    jobs: int = 1,
+    checkpoint_path: Optional[str] = None,
 ) -> List[DeviceSweepRow]:
     """Run the Fig. 3 sweep and return one averaged row per size.
 
+    ``jobs=N`` executes the ``sizes × runs`` grid across N worker
+    processes; rows are bit-identical to ``jobs=1`` for the same seeds.
+    ``checkpoint_path`` (JSONL) lets an interrupted sweep resume.
     ``explorer_factory(n_clbs, seed)`` may be supplied to customize the
-    optimizer; the default builds the paper's EPICURE platform with the
-    requested capacity.  ``engine`` selects the evaluation engine for
-    the default explorer (``"full"`` or ``"incremental"``).
+    optimizer (this legacy hook runs sequentially and supports neither
+    ``jobs`` nor checkpoints); the default builds the paper's EPICURE
+    platform with the requested capacity.  ``engine`` selects the
+    evaluation engine (``"full"`` or ``"incremental"``).
     """
     if runs < 1:
         raise ConfigurationError("runs must be >= 1")
+    if explorer_factory is not None:
+        if jobs != 1 or checkpoint_path is not None:
+            raise ConfigurationError(
+                "explorer_factory is a sequential legacy hook: parallel "
+                "jobs and checkpoints need spec-based jobs (it cannot "
+                "cross a process boundary)"
+            )
+        evaluations = {
+            (n_clbs, r): explorer_factory(
+                n_clbs, seed0 + 1000 * r + n_clbs
+            ).run().best_evaluation
+            for n_clbs in sizes for r in range(runs)
+        }
+        return _aggregate_rows(sizes, runs, evaluations, deadline_ms)
+
+    spec = StrategySpec("sa", {
+        "iterations": iterations,
+        "warmup_iterations": warmup_iterations,
+        "keep_trace": False,
+        "engine": engine,
+    })
+    job_list = [
+        SearchJob(
+            spec,
+            InstanceSpec(application, n_clbs=n_clbs),
+            seed=seed0 + 1000 * r + n_clbs,
+            tag=[n_clbs, r],
+        )
+        for n_clbs in sizes
+        for r in range(runs)
+    ]
+    outcomes = run_search_jobs(
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+    )
+    evaluations = {
+        (outcome.tag[0], outcome.tag[1]): best_evaluation_of(outcome.result)
+        for outcome in outcomes
+    }
+    return _aggregate_rows(sizes, runs, evaluations, deadline_ms)
+
+
+def _aggregate_rows(
+    sizes: Sequence[int],
+    runs: int,
+    evaluations: Dict[Tuple[int, int], object],
+    deadline_ms: float,
+) -> List[DeviceSweepRow]:
+    """Fold per-run evaluations into one averaged row per size, in a
+    fixed (size-major, run-minor) order so results are reproducible."""
     rows: List[DeviceSweepRow] = []
     for n_clbs in sizes:
         makespans: List[float] = []
@@ -80,21 +148,7 @@ def run_device_sweep(
         hw_counts: List[float] = []
         met = 0
         for r in range(runs):
-            seed = seed0 + 1000 * r + n_clbs
-            if explorer_factory is not None:
-                explorer = explorer_factory(n_clbs, seed)
-            else:
-                explorer = DesignSpaceExplorer(
-                    application,
-                    epicure_architecture(n_clbs=n_clbs),
-                    iterations=iterations,
-                    warmup_iterations=warmup_iterations,
-                    seed=seed,
-                    keep_trace=False,
-                    engine=engine,
-                )
-            result = explorer.run()
-            ev = result.best_evaluation
+            ev = evaluations[(n_clbs, r)]
             makespans.append(ev.makespan_ms)
             initials.append(ev.initial_reconfig_ms)
             dynamics.append(ev.dynamic_reconfig_ms)

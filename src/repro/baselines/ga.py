@@ -12,13 +12,18 @@ Chromosome encoding: one gene per hardware-capable task, ``-1`` for
 software, otherwise the index of the selected hardware implementation.
 Fitness is the library's standard evaluation (longest path of the
 realized search graph), so GA and annealer compete on identical ground.
+
+Implements the unified :class:`~repro.search.strategy.SearchStrategy`
+protocol: ``iterations`` count generations
+(``result.generations_run`` is the historical alias), ``history`` is
+the best cost after each generation, and ``extras["best_evaluation"]``
+carries the full evaluation of the winner.
 """
 
 from __future__ import annotations
 
 import random
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.architecture import Architecture
@@ -27,8 +32,20 @@ from repro.errors import ConfigurationError
 from repro.mapping.evaluator import Evaluation, Evaluator
 from repro.mapping.solution import Solution
 from repro.model.application import Application
+from repro.search.strategy import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    SearchTracker,
+    StepCallback,
+)
 
 Chromosome = Tuple[int, ...]
+
+#: Deprecated alias — the GA returns the unified
+#: :class:`~repro.search.strategy.SearchResult` since the search-layer
+#: refactor.
+GeneticResult = SearchResult
 
 
 @dataclass
@@ -58,20 +75,10 @@ class GeneticConfig:
             raise ConfigurationError("elitism must lie in [0, population_size)")
 
 
-@dataclass
-class GeneticResult:
-    best_solution: Solution
-    best_evaluation: Evaluation
-    best_cost: float
-    generations_run: int
-    evaluations: int
-    runtime_s: float
-    #: Best cost after each generation (convergence curve).
-    history: List[float] = field(default_factory=list)
-
-
-class GeneticPartitioner:
+class GeneticPartitioner(SearchStrategy):
     """GA over spatial partitions with deterministic realization."""
+
+    name = "ga"
 
     def __init__(
         self,
@@ -155,10 +162,29 @@ class GeneticPartitioner:
         return best
 
     # ------------------------------------------------------------------
-    def run(self) -> GeneticResult:
+    def run(self) -> SearchResult:
+        return self.search()
+
+    def search(
+        self,
+        initial: Optional[Solution] = None,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> SearchResult:
+        """Evolve to the budget.  ``initial`` is ignored: the GA draws
+        its own random population (documented protocol deviation)."""
         config = self.config
         rng = random.Random(config.seed)
-        started = time.perf_counter()
+        generations = (
+            budget.resolve_iterations(config.generations)
+            if budget is not None else config.generations
+        )
+        evaluations_before = self.evaluator.evaluations
+        # Construct the tracker first: scoring the initial population is
+        # paid work and belongs in runtime_s (the clock starts here).
+        tracker = SearchTracker(
+            self.name, budget=budget, seed=config.seed, on_step=on_step
+        )
 
         population = [
             self.random_chromosome(rng) for _ in range(config.population_size)
@@ -170,15 +196,12 @@ class GeneticPartitioner:
                 costs[ch] = self.fitness(ch)
             return costs[ch]
 
-        history: List[float] = []
         for chromosome in population:
             cost_of(chromosome)
         best = min(population, key=cost_of)
-        history.append(cost_of(best))
+        tracker.begin(cost_of(best))
 
-        generations_run = 0
-        for _ in range(config.generations):
-            generations_run += 1
+        for generation in range(1, generations + 1):
             ranked = sorted(set(population), key=cost_of)
             next_population: List[Chromosome] = list(ranked[: config.elitism])
             while len(next_population) < config.population_size:
@@ -196,16 +219,14 @@ class GeneticPartitioner:
             generation_best = min(population, key=cost_of)
             if cost_of(generation_best) < cost_of(best):
                 best = generation_best
-            history.append(cost_of(best))
+            tracker.observe(generation, cost_of(best))
+            if tracker.exhausted():
+                break
 
         best_solution = self.decode(best)
         best_evaluation = self.evaluator.evaluate(best_solution)
-        return GeneticResult(
+        return tracker.finish(
             best_solution=best_solution,
+            evaluations=self.evaluator.evaluations - evaluations_before,
             best_evaluation=best_evaluation,
-            best_cost=cost_of(best),
-            generations_run=generations_run,
-            evaluations=len(costs),
-            runtime_s=time.perf_counter() - started,
-            history=history,
         )

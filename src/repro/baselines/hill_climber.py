@@ -2,32 +2,35 @@
 
 Shares the annealer's move space but accepts only strict improvements.
 Included so the schedule ablation (``bench_ablation_schedules.py``) can
-show what the temperature actually buys.
+show what the temperature actually buys.  Implements the unified
+:class:`~repro.search.strategy.SearchStrategy` protocol; the loop
+bookkeeping lives in the shared tracker.
 """
 
 from __future__ import annotations
 
 import random
-import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from repro.errors import ConfigurationError, InfeasibleMoveError
 from repro.mapping.evaluator import Evaluator
-from repro.mapping.solution import Solution
+from repro.mapping.solution import Solution, random_initial_solution
 from repro.sa.moves import MoveGenerator
+from repro.search.strategy import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    SearchTracker,
+    StepCallback,
+)
+
+#: Deprecated alias — hill climbing returns the unified
+#: :class:`~repro.search.strategy.SearchResult` since the search-layer
+#: refactor.
+HillClimbResult = SearchResult
 
 
-@dataclass
-class HillClimbResult:
-    best_solution: Solution
-    best_cost: float
-    iterations_run: int
-    runtime_s: float
-    history: List[float] = field(default_factory=list)
-
-
-class HillClimber:
+class HillClimber(SearchStrategy):
     """First-improvement stochastic hill climbing.
 
     ``evaluator`` may be an :class:`Evaluator` facade or any
@@ -35,6 +38,8 @@ class HillClimber:
     needs ``makespan_ms``, so it shares whichever engine (full rebuild
     or incremental fast path) the caller selected.
     """
+
+    name = "hill_climber"
 
     def __init__(
         self,
@@ -50,29 +55,54 @@ class HillClimber:
         self.iterations = iterations
         self.seed = seed
 
-    def run(self, initial_solution: Solution) -> HillClimbResult:
+    def run(self, initial_solution: Solution) -> SearchResult:
+        return self.search(initial_solution)
+
+    def search(
+        self,
+        initial: Optional[Solution] = None,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> SearchResult:
         rng = random.Random(self.seed)
-        solution = initial_solution
+        if initial is None:
+            initial = random_initial_solution(
+                self.evaluator.application, self.evaluator.architecture, rng
+            )
+        solution = initial
+        iterations = (
+            budget.resolve_iterations(self.iterations)
+            if budget is not None else self.iterations
+        )
+        evaluations_before = self.evaluator.evaluations
         current_cost = self.evaluator.makespan_ms(solution)
-        history = [current_cost]
-        started = time.perf_counter()
-        for _ in range(self.iterations):
+        tracker = SearchTracker(
+            self.name, budget=budget, seed=self.seed, on_step=on_step
+        )
+        tracker.begin(current_cost, solution)
+        for iteration in range(1, iterations + 1):
+            accepted = False
+            move_name = ""
             try:
                 move = self.move_generator.propose(solution, rng)
+                move_name = move.name
                 move.apply(solution)
             except InfeasibleMoveError:
-                history.append(current_cost)
+                tracker.observe(iteration, current_cost, solution,
+                                accepted=False, stall_eligible=False)
+                if tracker.exhausted():
+                    break
                 continue
             cost = self.evaluator.makespan_ms(solution)
             if cost < current_cost:
                 current_cost = cost
+                accepted = True
             else:
                 move.undo(solution)
-            history.append(current_cost)
-        return HillClimbResult(
-            best_solution=solution,
-            best_cost=current_cost,
-            iterations_run=self.iterations,
-            runtime_s=time.perf_counter() - started,
-            history=history,
+            tracker.observe(iteration, current_cost, solution,
+                            accepted=accepted, move_name=move_name)
+            if tracker.exhausted():
+                break
+        return tracker.finish(
+            evaluations=self.evaluator.evaluations - evaluations_before,
         )

@@ -2,71 +2,101 @@
 
 Draws independent random initial solutions and keeps the best — a
 useful floor for judging how much structure the annealer's moves and
-schedule actually exploit.
+schedule actually exploit.  Implements the unified
+:class:`~repro.search.strategy.SearchStrategy` protocol; ``iterations``
+count samples (``result.samples`` is the historical alias).
 """
 
 from __future__ import annotations
 
 import random
-import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional, Union
 
 from repro.arch.architecture import Architecture
 from repro.errors import ConfigurationError
+from repro.mapping.engine import EvaluationEngine
 from repro.mapping.evaluator import Evaluator
 from repro.mapping.solution import Solution, random_initial_solution
 from repro.model.application import Application
+from repro.search.strategy import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    SearchTracker,
+    StepCallback,
+)
+
+#: Deprecated alias — random search returns the unified
+#: :class:`~repro.search.strategy.SearchResult` since the search-layer
+#: refactor.
+RandomSearchResult = SearchResult
 
 
-@dataclass
-class RandomSearchResult:
-    best_solution: Solution
-    best_cost: float
-    samples: int
-    runtime_s: float
-    history: List[float] = field(default_factory=list)
+class RandomSearch(SearchStrategy):
+    """Best of N independent random solutions.
 
+    ``evaluator`` may be omitted, in which case one is built from
+    ``bus_policy`` and ``engine`` (``"full"`` or ``"incremental"``) —
+    the same evaluation-engine knob every other searcher exposes.
+    """
 
-class RandomSearch:
-    """Best of N independent random solutions."""
+    name = "random"
 
     def __init__(
         self,
         application: Application,
         architecture: Architecture,
-        evaluator: Evaluator,
+        evaluator: Optional[Evaluator] = None,
         samples: int = 200,
         seed: Optional[int] = None,
+        bus_policy: str = "ordered",
+        engine: Union[str, EvaluationEngine] = "full",
     ) -> None:
         if samples < 1:
             raise ConfigurationError("samples must be >= 1")
         self.application = application
         self.architecture = architecture
+        if evaluator is None:
+            evaluator = Evaluator(
+                application, architecture, bus_policy, engine=engine
+            )
         self.evaluator = evaluator
         self.samples = samples
         self.seed = seed
 
-    def run(self) -> RandomSearchResult:
+    def run(self) -> SearchResult:
+        return self.search()
+
+    def search(
+        self,
+        initial: Optional[Solution] = None,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> SearchResult:
+        """Sample to the budget.  ``initial``, when given, is scored as
+        the first candidate (it costs one sample)."""
         rng = random.Random(self.seed)
-        best_solution: Optional[Solution] = None
-        best_cost = float("inf")
-        history: List[float] = []
-        started = time.perf_counter()
-        for _ in range(self.samples):
-            candidate = random_initial_solution(
-                self.application, self.architecture, rng
-            )
+        samples = (
+            budget.resolve_iterations(self.samples)
+            if budget is not None else self.samples
+        )
+        evaluations_before = self.evaluator.evaluations
+        tracker = SearchTracker(
+            self.name, budget=budget, seed=self.seed, on_step=on_step
+        )
+        tracker.begin()
+        for sample in range(1, samples + 1):
+            if sample == 1 and initial is not None:
+                candidate = initial
+            else:
+                candidate = random_initial_solution(
+                    self.application, self.architecture, rng
+                )
             cost = self.evaluator.makespan_ms(candidate)
-            if cost < best_cost:
-                best_cost = cost
-                best_solution = candidate
-            history.append(best_cost)
-        assert best_solution is not None
-        return RandomSearchResult(
-            best_solution=best_solution,
-            best_cost=best_cost,
-            samples=self.samples,
-            runtime_s=time.perf_counter() - started,
-            history=history,
+            tracker.observe(sample, cost, candidate, copy=False)
+            if tracker.exhausted():
+                break
+        assert tracker.result.best_solution is not None
+        return tracker.finish(
+            evaluations=self.evaluator.evaluations - evaluations_before,
         )

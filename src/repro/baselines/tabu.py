@@ -6,19 +6,23 @@ implementation makes the comparison concrete: best-of-``k`` candidate
 moves per iteration, a recency-based tabu list keyed by the moved task,
 and an aspiration criterion (a tabu move is allowed when it improves on
 the best cost seen).
+
+Implements the unified :class:`~repro.search.strategy.SearchStrategy`
+protocol; ``history`` is the shared best-so-far curve (the raw
+current-cost walk, which tabu allows to worsen, is in
+``extras["current_costs"]``).
 """
 
 from __future__ import annotations
 
 import math
 import random
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError, InfeasibleMoveError
 from repro.mapping.evaluator import Evaluator
-from repro.mapping.solution import Solution
+from repro.mapping.solution import Solution, random_initial_solution
 from repro.sa.moves import (
     CreateResourceMove,
     ImplementationMove,
@@ -29,6 +33,18 @@ from repro.sa.moves import (
     ReorderMove,
     RemoveResourceMove,
 )
+from repro.search.strategy import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    SearchTracker,
+    StepCallback,
+)
+
+#: Deprecated alias — tabu search returns the unified
+#: :class:`~repro.search.strategy.SearchResult` since the search-layer
+#: refactor.
+TabuResult = SearchResult
 
 
 @dataclass
@@ -47,15 +63,6 @@ class TabuConfig:
             raise ConfigurationError("tabu_tenure must be >= 0")
 
 
-@dataclass
-class TabuResult:
-    best_solution: Solution
-    best_cost: float
-    iterations_run: int
-    runtime_s: float
-    history: List[float] = field(default_factory=list)
-
-
 def _moved_task(move: Move) -> Optional[int]:
     """The task whose placement a move changes (tabu attribute)."""
     if isinstance(move, (ReorderMove, ReassignMove, ImplementationMove,
@@ -66,7 +73,7 @@ def _moved_task(move: Move) -> Optional[int]:
     return None
 
 
-class TabuSearch:
+class TabuSearch(SearchStrategy):
     """Best-candidate tabu search sharing the annealer's moves.
 
     ``evaluator`` may be an :class:`Evaluator` facade or any
@@ -75,6 +82,8 @@ class TabuSearch:
     exactly the access pattern the incremental engine's delta-patching
     is built for.
     """
+
+    name = "tabu"
 
     def __init__(
         self,
@@ -87,20 +96,39 @@ class TabuSearch:
         self.config = config if config is not None else TabuConfig()
         self.config.validate()
 
-    def run(self, initial_solution: Solution) -> TabuResult:
+    def run(self, initial_solution: Solution) -> SearchResult:
+        return self.search(initial_solution)
+
+    def search(
+        self,
+        initial: Optional[Solution] = None,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> SearchResult:
         config = self.config
         rng = random.Random(config.seed)
-        solution = initial_solution
+        if initial is None:
+            initial = random_initial_solution(
+                self.evaluator.application, self.evaluator.architecture, rng
+            )
+        solution = initial
+        iterations = (
+            budget.resolve_iterations(config.iterations)
+            if budget is not None else config.iterations
+        )
+        evaluations_before = self.evaluator.evaluations
         current_cost = self.evaluator.makespan_ms(solution)
-        best_solution = solution.copy()
-        best_cost = current_cost
+        tracker = SearchTracker(
+            self.name, budget=budget, seed=config.seed, on_step=on_step
+        )
+        tracker.begin(current_cost, solution)
+        current_costs: List[float] = [current_cost]
         tabu_until: Dict[int, int] = {}
-        history: List[float] = [current_cost]
-        started = time.perf_counter()
 
-        for iteration in range(1, config.iterations + 1):
+        for iteration in range(1, iterations + 1):
             best_move: Optional[Move] = None
             best_move_cost = math.inf
+            best_move_name = ""
             for _ in range(config.candidates_per_iteration):
                 try:
                     move = self.move_generator.propose(solution, rng)
@@ -113,27 +141,30 @@ class TabuSearch:
                 is_tabu = (
                     task is not None and tabu_until.get(task, 0) >= iteration
                 )
-                if is_tabu and cost >= best_cost:  # aspiration criterion
-                    continue
+                if is_tabu and cost >= tracker.result.best_cost:
+                    continue  # aspiration criterion
                 if cost < best_move_cost:
                     best_move, best_move_cost = move, cost
+                    best_move_name = move.name
             if best_move is None:
-                history.append(current_cost)
+                current_costs.append(current_cost)
+                tracker.observe(iteration, current_cost, solution,
+                                accepted=False, stall_eligible=False)
+                if tracker.exhausted():
+                    break
                 continue
             best_move.apply(solution)
             current_cost = best_move_cost
             task = _moved_task(best_move)
             if task is not None:
                 tabu_until[task] = iteration + config.tabu_tenure
-            if current_cost < best_cost:
-                best_cost = current_cost
-                best_solution = solution.copy()
-            history.append(current_cost)
+            current_costs.append(current_cost)
+            tracker.observe(iteration, current_cost, solution,
+                            accepted=True, move_name=best_move_name)
+            if tracker.exhausted():
+                break
 
-        return TabuResult(
-            best_solution=best_solution,
-            best_cost=best_cost,
-            iterations_run=config.iterations,
-            runtime_s=time.perf_counter() - started,
-            history=history,
+        return tracker.finish(
+            evaluations=self.evaluator.evaluations - evaluations_before,
+            current_costs=current_costs,
         )

@@ -2,14 +2,18 @@
 
 Commands
 --------
-``explore``   run the annealing explorer on an application/architecture
-              (built-in benchmark by default, or JSON files)
-``sweep``     Fig. 3-style device-size sweep
-``compare``   adaptive SA vs the GA baseline
-``info``      describe an application (tasks, structure, solution space)
+``explore``    run the annealing explorer on an application/architecture
+               (built-in benchmark by default, or JSON files)
+``sweep``      Fig. 3-style device-size sweep (``--jobs N`` parallel)
+``compare``    adaptive SA vs the GA baseline (``--jobs N`` parallel)
+``portfolio``  race all search strategies on one instance
+``info``       describe an application (tasks, structure, solution space)
 
 Every command accepts ``--seed`` for reproducibility and prints plain
-text; machine-readable output goes through ``--save`` (JSON).
+text; machine-readable output goes through ``--save`` (JSON).  Batch
+commands accept ``--jobs N`` (worker processes; results are
+bit-identical to ``--jobs 1``) and ``sweep`` additionally
+``--checkpoint PATH`` to resume interrupted runs.
 """
 
 from __future__ import annotations
@@ -31,8 +35,11 @@ from repro.io import (
 )
 from repro.mapping.schedule import extract_schedule
 from repro.mapping.gantt import render_gantt
-from repro.model.motion import motion_detection_application
+from repro.model.motion import MOTION_DEADLINE_MS, motion_detection_application
+from repro.sa.annealer import default_warmup
 from repro.sa.explorer import DesignSpaceExplorer
+from repro.sa.trace import write_csv
+from repro.search.portfolio import format_portfolio_table, run_portfolio
 
 
 def _load_app(path: Optional[str]):
@@ -49,6 +56,13 @@ def _load_arch(path: Optional[str], n_clbs: int):
         return load_architecture(handle.read())
 
 
+def _warmup(args: argparse.Namespace) -> int:
+    """Explicit ``--warmup``, else the shared budget-scaled default."""
+    if args.warmup is not None:
+        return args.warmup
+    return default_warmup(args.iterations)
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     application = _load_app(args.application)
     architecture = _load_arch(args.architecture, args.clbs)
@@ -56,7 +70,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         application,
         architecture,
         iterations=args.iterations,
-        warmup_iterations=args.warmup,
+        warmup_iterations=_warmup(args),
         seed=args.seed,
         schedule_name=args.schedule,
         engine=args.engine,
@@ -68,6 +82,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
           f"({result.runtime_s:.1f} s)")
     print(f"reconfiguration: {ev.initial_reconfig_ms:.2f} + "
           f"{ev.dynamic_reconfig_ms:.2f} ms; bus: {ev.comm_ms:.2f} ms")
+    if args.trace_csv:
+        with open(args.trace_csv, "w") as handle:
+            write_csv(result.trace, handle)
+        print(f"trace saved to {args.trace_csv} "
+              f"({len(result.trace)} records)")
     if args.plot and result.trace:
         print()
         print(plot_trace(result.trace))
@@ -92,9 +111,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sizes=sizes,
         runs=args.runs,
         iterations=args.iterations,
-        warmup_iterations=args.warmup,
+        warmup_iterations=_warmup(args),
         seed0=args.seed if args.seed is not None else 1,
         engine=args.engine,
+        jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
     )
     print(format_fig3_table(rows))
     if args.plot:
@@ -107,13 +128,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
     result = run_comparison(
         n_clbs=args.clbs,
         sa_iterations=args.iterations,
-        sa_warmup=args.warmup,
+        sa_warmup=_warmup(args),
         ga_population=args.population,
         ga_generations=args.generations,
         seed=args.seed if args.seed is not None else 11,
         engine=args.engine,
+        jobs=args.jobs,
     )
     print(result.format_table())
+    return 0
+
+
+def cmd_portfolio(args: argparse.Namespace) -> int:
+    application = _load_app(args.application)
+    entries = run_portfolio(
+        application,
+        architecture=_load_arch(args.architecture, args.clbs),
+        iterations=args.iterations,
+        seed=args.seed,
+        engine=args.engine,
+        jobs=args.jobs,
+        warmup_iterations=args.warmup,
+    )
+    deadline = (
+        MOTION_DEADLINE_MS if args.application is None else None
+    )
+    print(format_portfolio_table(entries, deadline_ms=deadline))
     return 0
 
 
@@ -147,11 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--application", help="application JSON (default: motion detection)")
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--iterations", type=int, default=iterations)
-        p.add_argument("--warmup", type=int, default=1200)
+        p.add_argument("--warmup", type=int, default=None,
+                       help="warmup iterations at infinite temperature "
+                            "(default: min(1200, iterations/4))")
         p.add_argument("--engine", default="incremental",
                        choices=["full", "incremental"],
                        help="evaluation engine (incremental = array-based "
                             "fast path, full = reference rebuild)")
+
+    def parallel(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (results are bit-identical "
+                            "to --jobs 1 for the same seeds)")
 
     p = sub.add_parser("explore", help="run the annealing explorer")
     common(p)
@@ -162,22 +209,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="ASCII Fig.2-style trace plot")
     p.add_argument("--gantt", action="store_true", help="ASCII Gantt chart")
     p.add_argument("--save", help="write the best solution JSON here")
+    p.add_argument("--trace-csv", metavar="PATH",
+                   help="write the per-iteration trace (Fig. 2 data) as CSV")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("sweep", help="device-size sweep (Fig. 3)")
     common(p)
+    parallel(p)
     p.add_argument("--sizes", default="200,400,800,2000,5000",
                    help="comma-separated CLB counts")
     p.add_argument("--runs", type=int, default=3)
     p.add_argument("--plot", action="store_true")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="JSONL checkpoint: finished runs are reloaded, "
+                        "so an interrupted sweep resumes here")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="SA vs GA baseline")
     common(p)
+    parallel(p)
     p.add_argument("--clbs", type=int, default=2000)
     p.add_argument("--population", type=int, default=300)
     p.add_argument("--generations", type=int, default=40)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "portfolio",
+        help="race all search strategies on one instance",
+    )
+    common(p)
+    parallel(p)
+    p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
+    p.add_argument("--clbs", type=int, default=2000)
+    p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("info", help="describe an application")
     p.add_argument("--application")

@@ -16,14 +16,17 @@ to reproduce is *SA at least as good and markedly faster*.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from repro.arch.architecture import epicure_architecture
-from repro.baselines.ga import GeneticConfig, GeneticPartitioner, GeneticResult
 from repro.model.motion import MOTION_DEADLINE_MS, motion_detection_application
-from repro.sa.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.search.runner import (
+    InstanceSpec,
+    SearchJob,
+    StrategySpec,
+    best_evaluation_of,
+    run_search_jobs,
+)
 
 
 @dataclass
@@ -75,6 +78,8 @@ def run_comparison(
     seed: int = 11,
     sa_best_of: int = 1,
     engine: str = "full",
+    jobs: int = 1,
+    checkpoint_path: Optional[str] = None,
 ) -> ComparisonResult:
     """Run both optimizers on the paper's platform.
 
@@ -82,52 +87,55 @@ def run_comparison(
     budget spirit and keeps the best (still far cheaper than one GA).
     Both optimizers score candidates through the same evaluation
     ``engine`` (``"full"`` or ``"incremental"``), so the comparison
-    stays on identical ground either way.
+    stays on identical ground either way.  All runs (the SA restarts
+    and the GA) are independent jobs, so ``jobs=N`` races them across
+    worker processes.
     """
     application = motion_detection_application()
+    instance = InstanceSpec(application, n_clbs=n_clbs)
 
-    sa_best: Optional[ExplorationResult] = None
-    sa_total_runtime = 0.0
-    for k in range(sa_best_of):
-        architecture = epicure_architecture(n_clbs=n_clbs)
-        explorer = DesignSpaceExplorer(
-            application,
-            architecture,
-            iterations=sa_iterations,
-            warmup_iterations=sa_warmup,
-            seed=seed + k,
-            keep_trace=False,
-            engine=engine,
-        )
-        result = explorer.run()
-        sa_total_runtime += result.runtime_s
-        if sa_best is None or (
-            result.best_evaluation.makespan_ms
-            < sa_best.best_evaluation.makespan_ms
-        ):
-            sa_best = result
-    assert sa_best is not None
-
-    ga_architecture = epicure_architecture(n_clbs=n_clbs)
-    ga = GeneticPartitioner(
-        application,
-        ga_architecture,
-        GeneticConfig(
-            population_size=ga_population,
-            generations=ga_generations,
-            seed=seed,
-        ),
-        engine=engine,
+    sa_spec = StrategySpec("sa", {
+        "iterations": sa_iterations,
+        "warmup_iterations": sa_warmup,
+        "keep_trace": False,
+        "engine": engine,
+    })
+    ga_spec = StrategySpec("ga", {
+        "population_size": ga_population,
+        "generations": ga_generations,
+        "engine": engine,
+    })
+    job_list = [
+        SearchJob(sa_spec, instance, seed=seed + k, tag="sa")
+        for k in range(sa_best_of)
+    ]
+    job_list.append(SearchJob(ga_spec, instance, seed=seed, tag="ga"))
+    outcomes = run_search_jobs(
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path
     )
-    ga_result = ga.run()
+
+    sa_best = None
+    sa_best_ev = None
+    sa_total_runtime = 0.0
+    ga_result = None
+    for outcome in outcomes:
+        if outcome.tag == "ga":
+            ga_result = outcome.result
+            continue
+        sa_total_runtime += outcome.result.runtime_s
+        ev = best_evaluation_of(outcome.result)
+        if sa_best is None or ev.makespan_ms < sa_best_ev.makespan_ms:
+            sa_best, sa_best_ev = outcome.result, ev
+    assert sa_best is not None and ga_result is not None
+    ga_ev = best_evaluation_of(ga_result)
 
     return ComparisonResult(
-        sa_makespan_ms=sa_best.best_evaluation.makespan_ms,
+        sa_makespan_ms=sa_best_ev.makespan_ms,
         sa_runtime_s=sa_total_runtime,
-        sa_contexts=sa_best.best_evaluation.num_contexts,
-        ga_makespan_ms=ga_result.best_evaluation.makespan_ms,
+        sa_contexts=sa_best_ev.num_contexts,
+        ga_makespan_ms=ga_ev.makespan_ms,
         ga_runtime_s=ga_result.runtime_s,
-        ga_contexts=ga_result.best_evaluation.num_contexts,
+        ga_contexts=ga_ev.num_contexts,
         ga_evaluations=ga_result.evaluations,
         deadline_ms=MOTION_DEADLINE_MS,
     )

@@ -13,13 +13,18 @@ trade the designer gets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.stats import summarize, Summary
-from repro.arch.architecture import epicure_architecture
 from repro.errors import ConfigurationError
 from repro.model.motion import motion_detection_application
-from repro.sa.explorer import DesignSpaceExplorer
+from repro.search.runner import (
+    InstanceSpec,
+    SearchJob,
+    StrategySpec,
+    best_evaluation_of,
+    run_search_jobs,
+)
 
 
 @dataclass(frozen=True)
@@ -49,39 +54,53 @@ def run_quality_knob(
     warmup: int = 1200,
     runs: int = 3,
     seed0: int = 51,
+    jobs: int = 1,
+    checkpoint_path: Optional[str] = None,
 ) -> List[QualityKnobRow]:
-    """Sweep the cooling-speed knob; budgets scale as 1/lambda."""
+    """Sweep the cooling-speed knob; budgets scale as 1/lambda.
+
+    Every ``(rate, run)`` cell is an independent job, so ``jobs=N``
+    spreads the whole sweep across worker processes.
+    """
     if not lambda_rates:
         raise ConfigurationError("need at least one lambda rate")
     if runs < 1:
         raise ConfigurationError("runs must be >= 1")
     application = motion_detection_application()
+    instance = InstanceSpec(application, n_clbs=n_clbs)
+    job_list = [
+        SearchJob(
+            StrategySpec("sa", {
+                "iterations": warmup + round(budget_constant / rate),
+                "warmup_iterations": warmup,
+                "schedule_kwargs": {"lambda_rate": rate},
+                "keep_trace": False,
+            }),
+            instance,
+            seed=seed0 + r,
+            tag=[rate, r],
+        )
+        for rate in lambda_rates
+        for r in range(runs)
+    ]
+    outcomes = run_search_jobs(
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+    )
+    by_cell = {(o.tag[0], o.tag[1]): o.result for o in outcomes}
     rows: List[QualityKnobRow] = []
     for rate in lambda_rates:
-        iterations = warmup + round(budget_constant / rate)
-        costs: List[float] = []
-        iterations_run: List[float] = []
-        runtimes: List[float] = []
-        for r in range(runs):
-            explorer = DesignSpaceExplorer(
-                application,
-                epicure_architecture(n_clbs=n_clbs),
-                iterations=iterations,
-                warmup_iterations=warmup,
-                seed=seed0 + r,
-                schedule_kwargs={"lambda_rate": rate},
-                keep_trace=False,
-            )
-            result = explorer.run()
-            costs.append(result.best_evaluation.makespan_ms)
-            iterations_run.append(float(result.annealing.iterations_run))
-            runtimes.append(result.runtime_s)
+        results = [by_cell[(rate, r)] for r in range(runs)]
+        costs = [
+            best_evaluation_of(result).makespan_ms for result in results
+        ]
         rows.append(
             QualityKnobRow(
                 lambda_rate=rate,
                 makespan=summarize(costs),
-                mean_iterations=sum(iterations_run) / runs,
-                mean_runtime_s=sum(runtimes) / runs,
+                mean_iterations=(
+                    sum(float(r.iterations_run) for r in results) / runs
+                ),
+                mean_runtime_s=sum(r.runtime_s for r in results) / runs,
             )
         )
     return rows

@@ -13,29 +13,55 @@ can stop whenever they wish and keep the best solution so far (section
 4: "it can be interrupted by the user at any time and will then return
 the current solution").
 
+Since the search-layer refactor, :class:`SimulatedAnnealing` implements
+the :class:`~repro.search.strategy.SearchStrategy` protocol and returns
+the shared :class:`~repro.search.strategy.SearchResult`; the
+best/history/stall/runtime bookkeeping lives in the shared
+:class:`~repro.search.strategy.SearchTracker`.  Only the genuinely
+annealing-specific parts remain here: the Metropolis rule, the adaptive
+schedule, the warmup phase, and Fig. 2's per-iteration trace.
+
 The whole move-evaluate-undo loop routes through the pluggable
 evaluation-engine layer (:mod:`repro.mapping.engine`): ``evaluator`` may
 be an :class:`~repro.mapping.evaluator.Evaluator` facade or any
-:class:`~repro.mapping.engine.EvaluationEngine`.  With the incremental
-engine, a rejected move's ``undo`` needs no second rebuild — the
-engine's next state diff simply patches the mutated pieces back.
+:class:`~repro.mapping.engine.EvaluationEngine`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.errors import ConfigurationError, InfeasibleMoveError
 from repro.mapping.cost import CostFunction, MakespanCost
 from repro.mapping.evaluator import Evaluator
-from repro.mapping.solution import Solution
+from repro.mapping.solution import Solution, random_initial_solution
 from repro.sa.moves import MoveGenerator, MoveStats
 from repro.sa.schedules import CoolingSchedule, LamDelosmeSchedule
 from repro.sa.trace import TraceRecord
+from repro.search.strategy import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    SearchTracker,
+    StepCallback,
+)
+
+#: Deprecated alias — the annealer returns the unified
+#: :class:`~repro.search.strategy.SearchResult` since the search-layer
+#: refactor.  Import :class:`SearchResult` directly in new code.
+AnnealingResult = SearchResult
+
+
+def default_warmup(iterations: int) -> int:
+    """The paper's 1200 warmup iterations (Fig. 2), scaled down so
+    small ``iterations`` budgets keep ``warmup < iterations``.  The one
+    formula shared by the CLI and the portfolio."""
+    return max(0, min(1200, iterations // 4))
 
 
 @dataclass
@@ -65,28 +91,29 @@ class AnnealerConfig:
         if self.stall_limit is not None and self.stall_limit < 1:
             raise ConfigurationError("stall_limit must be >= 1 or None")
 
+    def with_budget(self, budget: Optional[SearchBudget]) -> "AnnealerConfig":
+        """A copy with the budget's limits folded in (warmup clamped so
+        the invariant ``warmup < iterations`` survives small budgets)."""
+        if budget is None:
+            return self
+        budget.validate()
+        iterations = budget.resolve_iterations(self.iterations)
+        stall = (
+            budget.stall_limit
+            if budget.stall_limit is not None
+            else self.stall_limit
+        )
+        warmup = min(self.warmup_iterations, iterations - 1)
+        return dataclasses.replace(
+            self, iterations=iterations, warmup_iterations=warmup,
+            stall_limit=stall,
+        )
 
-@dataclass
-class AnnealingResult:
-    """Outcome of a run: the best solution and how we got there."""
 
-    best_solution: Solution
-    best_cost: float
-    final_cost: float
-    iterations_run: int
-    runtime_s: float
-    trace: List[TraceRecord] = field(default_factory=list)
-    move_stats: MoveStats = field(default_factory=MoveStats)
-
-    @property
-    def accept_ratio(self) -> float:
-        accepted = sum(self.move_stats.accepted.values())
-        proposed = sum(self.move_stats.proposed.values())
-        return accepted / proposed if proposed else 0.0
-
-
-class SimulatedAnnealing:
+class SimulatedAnnealing(SearchStrategy):
     """Adaptive simulated annealing over mapping solutions."""
+
+    name = "sa"
 
     def __init__(
         self,
@@ -104,48 +131,71 @@ class SimulatedAnnealing:
         self.config.validate()
 
     # ------------------------------------------------------------------
-    def run(self, initial_solution: Solution) -> AnnealingResult:
+    def run(self, initial_solution: Solution) -> SearchResult:
         """Anneal to completion (or stall) and return the best solution."""
-        result: Optional[AnnealingResult] = None
-        for result in self.iterate(initial_solution):
+        return self.search(initial_solution)
+
+    def search(
+        self,
+        initial: Optional[Solution] = None,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> SearchResult:
+        """:class:`SearchStrategy` entry point (seeded random initial
+        solution when none is given)."""
+        if initial is None:
+            initial = random_initial_solution(
+                self.evaluator.application,
+                self.evaluator.architecture,
+                random.Random(self.config.seed),
+            )
+        result: Optional[SearchResult] = None
+        for result in self.iterate(initial, budget=budget, on_step=on_step):
             pass
         assert result is not None
         return result
 
-    def iterate(self, initial_solution: Solution) -> Iterator[AnnealingResult]:
+    def iterate(
+        self,
+        initial_solution: Solution,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> Iterator[SearchResult]:
         """Generator form: yields a running result every iteration.
 
         The yielded object is updated in place except for ``trace`` and
         ``best_solution`` (copied on improvement), so interrupting the
         loop at any point leaves a consistent best-so-far result.
         """
-        config = self.config
+        config = self.config.with_budget(budget)
+        config.validate()
         rng = random.Random(config.seed)
         solution = initial_solution
+        evaluations_before = self.evaluator.evaluations
         evaluation = self.evaluator.evaluate(solution)
         current_cost = self.cost_function(solution, evaluation)
         if not math.isfinite(current_cost):
             raise ConfigurationError("initial solution must be feasible")
 
-        best_solution = solution.copy()
-        best_cost = current_cost
         stats = MoveStats()
-        trace: List[TraceRecord] = []
-        result = AnnealingResult(
-            best_solution=best_solution,
-            best_cost=best_cost,
-            final_cost=current_cost,
-            iterations_run=0,
-            runtime_s=0.0,
-            trace=trace,
-            move_stats=stats,
+        tracker = SearchTracker(
+            self.name,
+            budget=SearchBudget(
+                iterations=config.iterations,
+                time_limit_s=budget.time_limit_s if budget is not None else None,
+                stall_limit=config.stall_limit,
+            ),
+            seed=config.seed,
+            on_step=on_step,
+            keep_history=config.keep_trace,
         )
+        result = tracker.result
+        result.move_stats = stats
+        tracker.begin(current_cost, solution)
+        trace = result.trace
 
-        warmup_costs: List[float] = [current_cost]
+        warmup_costs = [current_cost]
         cooling = False
-        stall = 0
-        started = time.perf_counter()
-        self._started = started
 
         for iteration in range(1, config.iterations + 1):
             if not cooling and iteration > config.warmup_iterations:
@@ -162,14 +212,19 @@ class SimulatedAnnealing:
             except InfeasibleMoveError:
                 # Infeasible draws consume an iteration (the paper's
                 # Fig. 2 x-axis counts them) but carry no thermal
-                # information, so they are not fed to the schedule.
+                # information, so they feed neither the schedule nor the
+                # stall counter.
                 stats.record_infeasible(move_name)
-                self._finish_iteration(
-                    result, trace, iteration, current_cost, best_cost,
-                    solution, accepted=False, move_name=move_name,
-                    cooling=cooling, cost=current_cost,
+                tracker.observe(
+                    iteration, current_cost, solution,
+                    accepted=False, move_name=move_name, stall_eligible=False,
                 )
+                self._record_trace(trace, config, iteration, current_cost,
+                                   result.best_cost, solution, False,
+                                   move_name, cooling)
                 yield result
+                if tracker.exhausted():
+                    break
                 continue
 
             evaluation = self.evaluator.evaluate(solution)
@@ -179,40 +234,32 @@ class SimulatedAnnealing:
             if accepted:
                 current_cost = new_cost
                 stats.record_accepted(move_name)
-                if new_cost < best_cost:
-                    best_cost = new_cost
-                    best_solution = solution.copy()
-                    result.best_solution = best_solution
-                    result.best_cost = best_cost
-                    stall = 0
-                elif cooling:
-                    stall += 1
             else:
                 move.undo(solution)
                 stats.record_rejected(move_name)
-                if cooling:
-                    stall += 1
+
+            tracker.observe(
+                iteration, current_cost, solution,
+                accepted=accepted, move_name=move_name,
+                stall_eligible=cooling,
+            )
 
             if not cooling:
                 warmup_costs.append(current_cost)
             else:
                 self.schedule.record(current_cost, accepted)
 
-            self._finish_iteration(
-                result, trace, iteration, current_cost, best_cost,
-                solution, accepted, move_name, cooling, current_cost,
-            )
+            self._record_trace(trace, config, iteration, current_cost,
+                               result.best_cost, solution, accepted,
+                               move_name, cooling)
             yield result
 
-            if (
-                cooling
-                and config.stall_limit is not None
-                and stall >= config.stall_limit
-            ):
+            if tracker.exhausted():
                 break
 
-        result.final_cost = current_cost
-        result.runtime_s = time.perf_counter() - started
+        tracker.finish(
+            evaluations=self.evaluator.evaluations - evaluations_before,
+        )
 
     # ------------------------------------------------------------------
     def _metropolis(
@@ -230,10 +277,10 @@ class SimulatedAnnealing:
             return False
         return rng.random() < math.exp(-delta / temperature)
 
-    def _finish_iteration(
+    def _record_trace(
         self,
-        result: AnnealingResult,
-        trace: List[TraceRecord],
+        trace,
+        config: AnnealerConfig,
         iteration: int,
         current_cost: float,
         best_cost: float,
@@ -241,13 +288,8 @@ class SimulatedAnnealing:
         accepted: bool,
         move_name: str,
         cooling: bool,
-        cost: float,
     ) -> None:
-        result.iterations_run = iteration
-        result.final_cost = current_cost
-        result.best_cost = best_cost
-        result.runtime_s = time.perf_counter() - self._started
-        if self.config.keep_trace:
+        if config.keep_trace:
             trace.append(
                 TraceRecord(
                     iteration=iteration,

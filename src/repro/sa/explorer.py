@@ -24,6 +24,12 @@ from repro.sa.annealer import AnnealerConfig, AnnealingResult, SimulatedAnnealin
 from repro.sa.moves import MoveGenerator
 from repro.sa.schedules import CoolingSchedule, make_schedule
 from repro.sa.trace import TraceRecord
+from repro.search.strategy import (
+    SearchBudget,
+    SearchResult,
+    SearchStrategy,
+    StepCallback,
+)
 
 
 @dataclass
@@ -48,7 +54,7 @@ class ExplorationResult:
         return extract_schedule(self.best_solution, graph)
 
 
-class DesignSpaceExplorer:
+class DesignSpaceExplorer(SearchStrategy):
     """The paper's exploration tool.
 
     Parameters
@@ -71,6 +77,8 @@ class DesignSpaceExplorer:
         makespans, several times the throughput).  See
         :mod:`repro.mapping.engine`.
     """
+
+    name = "sa"
 
     def __init__(
         self,
@@ -144,6 +152,26 @@ class DesignSpaceExplorer:
             initial_evaluation=initial_evaluation,
             annealing=annealing,
         )
+
+    def search(
+        self,
+        initial: Optional[Solution] = None,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[StepCallback] = None,
+    ) -> SearchResult:
+        """:class:`~repro.search.strategy.SearchStrategy` form of
+        :meth:`run`: the unified result, with the full evaluations of
+        the best and initial solutions in ``extras``."""
+        solution = initial if initial is not None else self.initial_solution()
+        initial_evaluation = self.evaluator.evaluate(solution)
+        annealing = self.annealer.search(
+            solution, budget=budget, on_step=on_step
+        )
+        annealing.extras["best_evaluation"] = self.evaluator.evaluate(
+            annealing.best_solution
+        )
+        annealing.extras["initial_evaluation"] = initial_evaluation
+        return annealing
 
     def run_interruptible(
         self,

@@ -1,0 +1,165 @@
+"""Strategy portfolio: race every searcher on one instance.
+
+The paper argues its adaptive annealer needs no tuning; the cheapest way
+to test that claim on a *new* instance is to race all five strategies
+under one evaluation budget and look at the scoreboard.  The portfolio
+gives each strategy a seed derived from one base seed, fans the runs out
+through the parallel runner, and reports the winner.
+
+Budgets are normalized by evaluation count, not loop iterations: tabu
+probes ``candidates_per_iteration`` moves per iteration and the GA
+scores whole populations, so their loop counts are scaled down to match
+the annealer's single-evaluation iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.arch.architecture import Architecture
+from repro.errors import ConfigurationError
+from repro.mapping.evaluator import Evaluation
+from repro.model.application import Application
+from repro.search.runner import (
+    InstanceSpec,
+    SearchJob,
+    StrategySpec,
+    best_evaluation_of,
+    derive_seeds,
+    run_search_jobs,
+)
+from repro.search.strategy import SearchResult
+
+#: Default racers, in scoreboard tie-break order.
+PORTFOLIO_KINDS = ("sa", "tabu", "hill_climber", "ga", "random")
+
+_TABU_CANDIDATES = 6
+_GA_POPULATION = 50
+_RANDOM_FRACTION = 10  # evaluations per random sample vs per SA iteration
+
+
+@dataclass
+class PortfolioEntry:
+    """One strategy's run in the race."""
+
+    kind: str
+    seed: int
+    result: SearchResult
+    evaluation: Evaluation
+
+    @property
+    def best_cost(self) -> float:
+        return self.result.best_cost
+
+
+def _portfolio_specs(
+    kinds: Sequence[str],
+    iterations: int,
+    engine: str,
+    warmup_iterations: Optional[int] = None,
+) -> List[StrategySpec]:
+    from repro.sa.annealer import default_warmup
+
+    if warmup_iterations is None:
+        warmup_iterations = default_warmup(iterations)
+    specs = []
+    for kind in kinds:
+        if kind == "sa":
+            options = {
+                "iterations": iterations,
+                "warmup_iterations": min(
+                    warmup_iterations, max(0, iterations - 1)
+                ),
+                "engine": engine,
+            }
+        elif kind == "tabu":
+            options = {
+                "iterations": max(1, iterations // _TABU_CANDIDATES),
+                "candidates_per_iteration": _TABU_CANDIDATES,
+                "engine": engine,
+            }
+        elif kind == "hill_climber":
+            options = {"iterations": iterations, "engine": engine}
+        elif kind == "ga":
+            options = {
+                "population_size": _GA_POPULATION,
+                "generations": max(1, iterations // _GA_POPULATION),
+                "engine": engine,
+            }
+        elif kind == "random":
+            options = {
+                "samples": max(1, iterations // _RANDOM_FRACTION),
+                "engine": engine,
+            }
+        else:
+            options = {"engine": engine}
+        specs.append(StrategySpec(kind, options))
+    return specs
+
+
+def run_portfolio(
+    application: Application,
+    architecture: Optional[Architecture] = None,
+    n_clbs: int = 2000,
+    iterations: int = 8000,
+    seed: int = 7,
+    engine: str = "incremental",
+    jobs: int = 1,
+    kinds: Sequence[str] = PORTFOLIO_KINDS,
+    checkpoint_path: Optional[str] = None,
+    warmup_iterations: Optional[int] = None,
+) -> List[PortfolioEntry]:
+    """Race ``kinds`` on one instance; entries sorted best-first."""
+    if not kinds:
+        raise ConfigurationError("portfolio needs at least one strategy kind")
+    instance = InstanceSpec(
+        application,
+        architecture=architecture,
+        n_clbs=None if architecture is not None else n_clbs,
+    )
+    specs = _portfolio_specs(kinds, iterations, engine, warmup_iterations)
+    seeds = derive_seeds(seed, len(specs))
+    job_list = [
+        SearchJob(spec, instance, seed=s, tag=spec.kind)
+        for spec, s in zip(specs, seeds)
+    ]
+    outcomes = run_search_jobs(
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+    )
+    entries = [
+        PortfolioEntry(
+            kind=outcome.tag,
+            seed=outcome.seed,
+            result=outcome.result,
+            evaluation=best_evaluation_of(outcome.result),
+        )
+        for outcome in outcomes
+    ]
+    order = {kind: rank for rank, kind in enumerate(kinds)}
+    entries.sort(key=lambda e: (e.best_cost, order[e.kind]))
+    return entries
+
+
+def format_portfolio_table(
+    entries: Sequence[PortfolioEntry], deadline_ms: Optional[float] = None
+) -> str:
+    lines = [
+        "Strategy portfolio (one instance, evaluation-normalized budgets)",
+        f"{'strategy':<14} {'best (ms)':>10} {'contexts':>9} {'evals':>8} "
+        f"{'iters':>8} {'time (s)':>9}",
+    ]
+    for entry in entries:
+        lines.append(
+            f"{entry.kind:<14} {entry.best_cost:>10.2f} "
+            f"{entry.evaluation.num_contexts:>9} {entry.result.evaluations:>8} "
+            f"{entry.result.iterations_run:>8} {entry.result.runtime_s:>9.2f}"
+        )
+    winner = entries[0]
+    lines.append(f"winner: {winner.kind} at {winner.best_cost:.2f} ms")
+    if deadline_ms is not None:
+        lines.append(
+            f"deadline {deadline_ms:.0f} ms met: "
+            f"{winner.best_cost <= deadline_ms}"
+        )
+    return "\n".join(lines)

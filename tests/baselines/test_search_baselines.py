@@ -89,3 +89,16 @@ class TestRandomSearch:
         evaluator = Evaluator(small_app, small_arch)
         with pytest.raises(ConfigurationError):
             RandomSearch(small_app, small_arch, evaluator, samples=0)
+
+    def test_engine_knob_builds_evaluator(self, small_app, small_arch):
+        """The engine plumbing every other searcher has (PR 1) reaches
+        random search too: same samples, same best cost, both engines."""
+        results = {}
+        for engine in ("full", "incremental"):
+            search = RandomSearch(
+                small_app, small_arch, samples=20, seed=9, engine=engine
+            )
+            assert search.evaluator.engine_name == engine
+            results[engine] = search.run()
+        assert results["full"].best_cost == results["incremental"].best_cost
+        assert results["full"].history == results["incremental"].history

@@ -1,0 +1,137 @@
+"""Strategy-layer conformance: one harness, all five searchers.
+
+Every strategy must return a :class:`SearchResult` whose invariants
+hold regardless of how the search works internally:
+
+* ``best_cost`` matches a fresh re-evaluation of ``best_solution``;
+* ``history`` is the monotone best-so-far curve ending at ``best_cost``;
+* budgets are respected;
+* fixed seeds give identical results;
+* the step callback sees every counted iteration.
+"""
+
+import pytest
+
+from repro.baselines.ga import GeneticConfig, GeneticPartitioner
+from repro.baselines.hill_climber import HillClimber
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.tabu import TabuConfig, TabuSearch
+from repro.mapping.evaluator import Evaluator
+from repro.sa.annealer import AnnealerConfig, SimulatedAnnealing
+from repro.sa.moves import MoveGenerator
+from repro.search.strategy import SearchBudget, SearchResult
+
+ITERATIONS = 120
+
+
+def make_sa(app, arch, seed):
+    return SimulatedAnnealing(
+        Evaluator(app, arch),
+        MoveGenerator(app, p_impl=0.15, p_offload=0.1),
+        config=AnnealerConfig(
+            iterations=ITERATIONS, warmup_iterations=30, seed=seed
+        ),
+    )
+
+
+def make_hill(app, arch, seed):
+    return HillClimber(
+        Evaluator(app, arch),
+        MoveGenerator(app, p_impl=0.15, p_offload=0.1),
+        iterations=ITERATIONS,
+        seed=seed,
+    )
+
+
+def make_tabu(app, arch, seed):
+    return TabuSearch(
+        Evaluator(app, arch),
+        MoveGenerator(app, p_impl=0.15, p_offload=0.1),
+        TabuConfig(iterations=40, candidates_per_iteration=3, seed=seed),
+    )
+
+
+def make_ga(app, arch, seed):
+    return GeneticPartitioner(
+        app, arch, GeneticConfig(population_size=10, generations=5, seed=seed)
+    )
+
+
+def make_random(app, arch, seed):
+    return RandomSearch(app, arch, samples=40, seed=seed)
+
+
+FACTORIES = {
+    "sa": make_sa,
+    "hill_climber": make_hill,
+    "tabu": make_tabu,
+    "ga": make_ga,
+    "random": make_random,
+}
+
+strategies = pytest.mark.parametrize("kind", sorted(FACTORIES))
+
+
+@strategies
+class TestConformance:
+    def test_result_invariants(self, kind, small_app, small_arch):
+        strategy = FACTORIES[kind](small_app, small_arch, seed=5)
+        result = strategy.search()
+        assert isinstance(result, SearchResult)
+        assert result.strategy == kind
+        assert result.seed == 5
+        assert result.iterations_run >= 1
+        assert result.runtime_s >= 0.0
+        assert result.evaluations >= 1
+        assert result.best_solution is not None
+        result.best_solution.validate()
+
+    def test_best_cost_matches_reevaluation(self, kind, small_app, small_arch):
+        strategy = FACTORIES[kind](small_app, small_arch, seed=6)
+        result = strategy.search()
+        fresh = Evaluator(small_app, small_arch)
+        assert fresh.makespan_ms(result.best_solution) == (
+            pytest.approx(result.best_cost)
+        )
+
+    def test_history_monotone_best_so_far(self, kind, small_app, small_arch):
+        result = FACTORIES[kind](small_app, small_arch, seed=7).search()
+        assert result.history, "strategies keep history by default"
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later <= earlier
+        assert result.history[-1] == result.best_cost
+
+    def test_budget_respected(self, kind, small_app, small_arch):
+        budget = SearchBudget(iterations=3)
+        result = FACTORIES[kind](small_app, small_arch, seed=8).search(
+            budget=budget
+        )
+        assert result.iterations_run <= 3
+
+    def test_stall_budget_stops_early(self, kind, small_app, small_arch):
+        strategy = FACTORIES[kind](small_app, small_arch, seed=9)
+        full = strategy.search()
+        stalled = FACTORIES[kind](small_app, small_arch, seed=9).search(
+            budget=SearchBudget(stall_limit=2)
+        )
+        assert stalled.iterations_run <= full.iterations_run
+
+    def test_seed_determinism(self, kind, small_app, small_arch):
+        a = FACTORIES[kind](small_app, small_arch, seed=11).search()
+        b = FACTORIES[kind](small_app, small_arch, seed=11).search()
+        assert a.best_cost == b.best_cost
+        assert a.history == b.history
+        assert a.iterations_run == b.iterations_run
+
+    def test_step_callback_sees_each_iteration(
+        self, kind, small_app, small_arch
+    ):
+        steps = []
+        result = FACTORIES[kind](small_app, small_arch, seed=12).search(
+            on_step=steps.append
+        )
+        assert len(steps) == result.iterations_run
+        assert steps[-1].iteration == result.iterations_run
+        assert steps[-1].best_cost == result.best_cost
+        for earlier, later in zip(steps, steps[1:]):
+            assert later.best_cost <= earlier.best_cost

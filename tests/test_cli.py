@@ -62,6 +62,17 @@ class TestExplore:
             "--schedule", "geometric",
         ]) == 0
 
+    def test_trace_csv_written(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        assert main([
+            "explore", "--iterations", "200", "--warmup", "40",
+            "--seed", "1", "--trace-csv", str(path),
+        ]) == 0
+        assert "trace saved" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("iteration,temperature,")
+        assert len(lines) == 201  # header + one row per iteration
+
 
 class TestSweep:
     def test_two_sizes(self, capsys):
@@ -82,6 +93,34 @@ class TestCompare:
         ]) == 0
         out = capsys.readouterr().out
         assert "adaptive SA" in out
+
+
+class TestSweepParallel:
+    def test_jobs_flag_and_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep", "--sizes", "400", "--runs", "2",
+            "--iterations", "200", "--warmup", "40",
+            "--jobs", "1", "--checkpoint", str(checkpoint),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert checkpoint.exists()
+        # resumes from the checkpoint: identical table, no recompute
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestPortfolio:
+    def test_race_reports_winner(self, capsys):
+        assert main([
+            "portfolio", "--iterations", "200", "--warmup", "40",
+            "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        for kind in ("sa", "tabu", "hill_climber", "ga", "random"):
+            assert kind in out
 
 
 class TestParser:
