@@ -1,34 +1,19 @@
 """Bus-policy ablation — serialized transactions vs plain edge delays.
 
-Section 3.3 requires a total order on shared-medium transactions; this
-bench quantifies how much bus exclusiveness costs on the benchmark (and
-sanity-checks that ignoring contention can only look faster).
+Thin shim over the registered case ``ablation/bus``
+(:mod:`repro.bench.suites`); section 3.3 requires a total order on
+shared-medium transactions, and this asserts that ignoring contention
+can only look faster.
 """
 
-from repro.experiments.ablations import run_bus_ablation
-
-from benchmarks.conftest import bench_iters, bench_runs
+from benchmarks.conftest import run_case_via
 
 
 def test_bus_policy_ablation(benchmark):
-    results = benchmark.pedantic(
-        lambda: run_bus_ablation(
-            n_clbs=2000,
-            iterations=bench_iters(),
-            warmup=1200,
-            runs=bench_runs(),
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print()
-    print("Bus-policy ablation (motion detection, 2000 CLBs)")
-    for policy, summary in results.items():
-        print(f"  {policy:<8} {summary.format('ms')}")
+    rows = run_case_via(benchmark, "ablation/bus")["rows"]
 
     # Both policies solve the problem; the contention-free relaxation
     # may be at most marginally "faster" (it under-models the bus).
-    assert results["ordered"].mean < 40.0
-    assert results["edge"].mean < 40.0
-    assert results["edge"].mean <= results["ordered"].mean + 3.0
+    assert rows["ordered"]["mean"] < 40.0
+    assert rows["edge"]["mean"] < 40.0
+    assert rows["edge"]["mean"] <= rows["ordered"]["mean"] + 3.0

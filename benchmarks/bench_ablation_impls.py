@@ -1,38 +1,18 @@
 """A3 — multi-implementation (area/time Pareto) exploration ablation.
 
-The paper stresses that each function has 5-6 synthesized dominant
-implementations and the annealer picks among them.  This bench measures
-what that degree of freedom buys against freezing every hardware task to
-its smallest or fastest variant.
+Thin shim over the registered case ``ablation/impls``
+(:mod:`repro.bench.suites`): what the 5-6 dominant implementations per
+function buy against freezing every hardware task to its smallest or
+fastest variant.
 """
 
-from repro.experiments.ablations import run_impl_ablation
-
-from benchmarks.conftest import bench_iters, bench_runs
+from benchmarks.conftest import run_case_via
 
 
 def test_implementation_choice_ablation(benchmark):
-    results = benchmark.pedantic(
-        lambda: run_impl_ablation(
-            n_clbs=2000,
-            iterations=bench_iters(),
-            warmup=1200,
-            runs=bench_runs(),
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print()
-    print("Implementation-selection ablation (motion detection, 2000 CLBs)")
-    print(f"{'mode':<10} {'mean(ms)':>9} {'std':>7} {'min':>8} {'max':>8}")
-    for mode, summary in results.items():
-        print(
-            f"{mode:<10} {summary.mean:>9.2f} {summary.std:>7.2f} "
-            f"{summary.minimum:>8.2f} {summary.maximum:>8.2f}"
-        )
+    rows = run_case_via(benchmark, "ablation/impls")["rows"]
 
     # Free choice must not lose to either frozen policy by a margin.
-    frozen_best = min(results["smallest"].mean, results["fastest"].mean)
-    assert results["free"].mean <= frozen_best + 2.0
-    assert results["free"].mean < 40.0
+    frozen_best = min(rows["smallest"]["mean"], rows["fastest"]["mean"])
+    assert rows["free"]["mean"] <= frozen_best + 2.0
+    assert rows["free"]["mean"] < 40.0

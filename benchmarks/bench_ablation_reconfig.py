@@ -1,83 +1,23 @@
 """Partial vs full reconfiguration ablation.
 
-The paper's architecture model is explicitly *partially* reconfigurable
-(section 3.2: "the FPGA reconfiguration time depends on the number of
-CLBs needed"), in contrast to full-device approaches in its related
-work (Chatha & Vemuri [5]).  This bench quantifies what partial
-reconfiguration buys on the motion-detection benchmark: the same
-optimizer on the same device with context-proportional vs whole-fabric
-reconfiguration cost.
+Thin shim over the registered case ``ablation/reconfig``
+(:mod:`repro.bench.suites`): the paper's model is *partially*
+reconfigurable (section 3.2), in contrast to full-device approaches in
+its related work (Chatha & Vemuri [5]); this quantifies the gap.
 """
 
-from repro.analysis.stats import summarize
-from repro.arch.architecture import Architecture
-from repro.arch.bus import Bus
-from repro.arch.processor import Processor
-from repro.arch.reconfigurable import ReconfigurableCircuit
-from repro.model.motion import motion_detection_application
-from repro.sa.explorer import DesignSpaceExplorer
-
-from benchmarks.conftest import bench_iters, bench_runs
-
-
-def make_arch(partial: bool) -> Architecture:
-    arch = Architecture(
-        "ablation_platform", bus=Bus(rate_kbytes_per_ms=50.0)
-    )
-    arch.add_resource(Processor("arm922"))
-    arch.add_resource(
-        ReconfigurableCircuit(
-            "virtex",
-            n_clbs=2000,
-            reconfig_ms_per_clb=0.0225,
-            partial_reconfiguration=partial,
-        )
-    )
-    return arch
-
-
-def run_mode(partial: bool, runs: int, iterations: int):
-    application = motion_detection_application()
-    costs, reconfigs, contexts = [], [], []
-    for r in range(runs):
-        explorer = DesignSpaceExplorer(
-            application,
-            make_arch(partial),
-            iterations=iterations,
-            warmup_iterations=1200,
-            seed=31 + r,
-            keep_trace=False,
-        )
-        ev = explorer.run().best_evaluation
-        costs.append(ev.makespan_ms)
-        reconfigs.append(ev.reconfig_ms)
-        contexts.append(float(ev.num_contexts))
-    return summarize(costs), summarize(reconfigs), summarize(contexts)
+from benchmarks.conftest import run_case_via
 
 
 def test_partial_vs_full_reconfiguration(benchmark):
-    runs, iterations = bench_runs(), bench_iters()
-    results = benchmark.pedantic(
-        lambda: {
-            "partial": run_mode(True, runs, iterations),
-            "full": run_mode(False, runs, iterations),
-        },
-        rounds=1,
-        iterations=1,
-    )
+    rows = run_case_via(benchmark, "ablation/reconfig")["rows"]
 
-    print()
-    print("Partial vs full reconfiguration (2000 CLBs, tR = 22.5 us/CLB)")
-    print(f"{'mode':<9} {'exec(ms)':>9} {'reconfig(ms)':>13} {'contexts':>9}")
-    for mode, (cost, reconfig, ctx) in results.items():
-        print(f"{mode:<9} {cost.mean:>9.2f} {reconfig.mean:>13.2f} "
-              f"{ctx.mean:>9.2f}")
-
-    partial_cost = results["partial"][0].mean
-    full_cost = results["full"][0].mean
     # Whole-fabric reconfiguration (45 ms per context switch!) must hurt
     # badly: the optimizer either collapses to very few contexts or eats
     # the makespan penalty.  Partial reconfiguration must win clearly.
-    assert partial_cost < full_cost - 3.0
+    assert rows["partial"]["exec_mean"] < rows["full"]["exec_mean"] - 3.0
     # Full-reconfig solutions avoid context switching.
-    assert results["full"][2].mean <= results["partial"][2].mean + 0.5
+    assert (
+        rows["full"]["contexts_mean"]
+        <= rows["partial"]["contexts_mean"] + 0.5
+    )

@@ -1,44 +1,21 @@
 """A1 — cooling-schedule ablation at an equal move budget.
 
-The paper's pitch: the adaptive (Lam) schedule needs no per-problem
-tuning yet is competitive.  We compare Lam adaptive, modified-Lam,
-untuned geometric, zero-temperature hill climbing and random restart.
+Thin shim over the registered case ``ablation/schedules``
+(:mod:`repro.bench.suites`): the adaptive (Lam) schedule needs no
+per-problem tuning yet must stay competitive with modified-Lam, untuned
+geometric, zero-temperature hill climbing and random restart.
 """
 
-from repro.experiments.ablations import (
-    SCHEDULE_ABLATION_HEADER,
-    run_schedule_ablation,
-)
-
-from benchmarks.conftest import bench_iters, bench_runs
+from benchmarks.conftest import run_case_via
 
 
 def test_schedule_ablation(benchmark):
-    rows = benchmark.pedantic(
-        lambda: run_schedule_ablation(
-            n_clbs=2000,
-            iterations=bench_iters(),
-            warmup=1200,
-            runs=bench_runs(),
-        ),
-        rounds=1,
-        iterations=1,
-    )
+    rows = run_case_via(benchmark, "ablation/schedules")["rows"]
 
-    print()
-    print("Schedule ablation (motion detection, 2000 CLBs)")
-    print(SCHEDULE_ABLATION_HEADER)
-    for row in rows:
-        print(row.format_row())
-
-    by_name = {row.method: row for row in rows}
     # Both annealers must decisively beat blind random restarts.
-    assert by_name["lam"].makespan.mean < by_name["random_search"].makespan.mean - 5.0
+    assert rows["lam"]["mean"] < rows["random_search"]["mean"] - 5.0
     # The adaptive schedule is at least competitive with hill climbing
     # (temperature must not hurt).
-    assert (
-        by_name["lam"].makespan.mean
-        <= by_name["hill_climb"].makespan.mean + 3.0
-    )
+    assert rows["lam"]["mean"] <= rows["hill_climb"]["mean"] + 3.0
     # And it meets the paper's real-time constraint on average.
-    assert by_name["lam"].makespan.mean < 40.0
+    assert rows["lam"]["mean"] < 40.0

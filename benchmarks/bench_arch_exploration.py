@@ -1,76 +1,22 @@
 """A4 — architecture exploration with moves m3/m4 (the paper's general mode).
 
-The DATE'05 experiments pin the architecture (probability of drawing the
-special index 0 is set to 0); the underlying method, however, explores
-the resource set to minimize system cost under a deadline.  This bench
-exercises that mode: starting from a minimal platform, the annealer may
-instantiate catalog resources (extra processor / bigger DRLC / ASIC) and
-must end with a deadline-meeting design of reasonable cost.
+Thin shim over the registered case ``experiment/arch_exploration``
+(:mod:`repro.bench.suites`): starting from a minimal platform, the
+annealer may instantiate catalog resources and must end with a
+deadline-meeting design of reasonable cost.
 """
 
-from repro.arch.architecture import Architecture
-from repro.arch.asic import Asic
-from repro.arch.bus import Bus
-from repro.arch.processor import Processor
-from repro.arch.reconfigurable import ReconfigurableCircuit
-from repro.mapping.cost import SystemCost
-from repro.model.motion import MOTION_DEADLINE_MS, motion_detection_application
-from repro.sa.explorer import DesignSpaceExplorer
+from repro.model.motion import MOTION_DEADLINE_MS
 
-from benchmarks.conftest import bench_iters
-
-CATALOG = [
-    lambda name: Processor(name, speed_factor=1.0, monetary_cost=1.0),
-    lambda name: ReconfigurableCircuit(
-        name, n_clbs=1000, reconfig_ms_per_clb=0.0225, monetary_cost=2.0
-    ),
-    lambda name: Asic(name, monetary_cost=4.0),
-]
-
-
-def minimal_platform() -> Architecture:
-    arch = Architecture("minimal", bus=Bus(rate_kbytes_per_ms=50.0))
-    arch.add_resource(Processor("arm922", monetary_cost=1.0))
-    arch.add_resource(
-        ReconfigurableCircuit(
-            "virtex", n_clbs=1000, reconfig_ms_per_clb=0.0225, monetary_cost=2.0
-        )
-    )
-    return arch
+from benchmarks.conftest import run_case_via
 
 
 def test_architecture_exploration(benchmark):
-    application = motion_detection_application()
+    metrics = run_case_via(benchmark, "experiment/arch_exploration")
 
-    def explore():
-        explorer = DesignSpaceExplorer(
-            application,
-            minimal_platform(),
-            iterations=bench_iters(),
-            warmup_iterations=1200,
-            seed=19,
-            p_zero=0.05,
-            catalog=CATALOG,
-            cost_function=SystemCost(
-                deadline_ms=MOTION_DEADLINE_MS, penalty_per_ms=50.0
-            ),
-            keep_trace=False,
-        )
-        return explorer.run()
-
-    result = benchmark.pedantic(explore, rounds=1, iterations=1)
-
-    arch = result.best_solution.architecture
-    ev = result.best_evaluation
-    print()
-    print("Architecture exploration (SystemCost, 40 ms deadline)")
-    print(f"  final makespan:   {ev.makespan_ms:.2f} ms")
-    print(f"  final resources:  {[r.name for r in arch.resources()]}")
-    print(f"  monetary cost:    {arch.total_monetary_cost():.1f}")
-
-    assert ev.feasible
-    assert ev.makespan_ms <= MOTION_DEADLINE_MS + 1e-9
-    assert arch.processors(), "at least one processor must survive"
+    assert metrics["feasible"]
+    assert metrics["makespan_ms"] <= MOTION_DEADLINE_MS + 1e-9
+    assert metrics["num_processors"] >= 1, "a processor must survive"
     # The design must not hoard resources (m3 prunes drained ones).
-    assert arch.total_monetary_cost() <= 10.0
-    assert len(list(arch.resources())) <= 5
+    assert metrics["monetary_cost"] <= 10.0
+    assert metrics["num_resources"] <= 5

@@ -1,45 +1,33 @@
 """E4 — solution-space size table (paper section 5, closing paragraphs).
 
-Pure combinatorics: these numbers must match the paper *exactly*.
+Thin shim over the registered case ``analysis/combinatorics``
+(:mod:`repro.bench.suites`).  Pure combinatorics: these numbers must
+match the paper *exactly*.
 """
 
 from math import comb
 
-from repro.analysis.combinatorics import (
-    chain_interleavings,
-    context_placements,
-    count_linear_extensions,
-    solution_space_report,
-)
-from repro.model.motion import motion_detection_application
+from benchmarks.conftest import run_case_via
 
 
 def test_solution_space_table(benchmark):
-    application = motion_detection_application()
-    report = benchmark.pedantic(
-        lambda: solution_space_report(application, context_changes=(2, 4, 6)),
-        rounds=1,
-        iterations=1,
-    )
-
-    print()
-    print("Solution-space size (paper section 5)")
-    print(report.format_table())
-    print(f"first 20 nodes (7-chain || 6-chain): {chain_interleavings([7, 6]):,}")
-    print(f"D/E fork (2-chain || 1 node):        {chain_interleavings([2, 1]):,}")
+    metrics = run_case_via(benchmark, "analysis/combinatorics")
 
     # Exact paper numbers.
-    assert chain_interleavings([7, 6]) == 1716
-    assert chain_interleavings([2, 1]) == 3
-    assert report.total_orders == 348_840 == 3 * comb(21, 7)
-    assert report.placements[2] == 378
-    assert report.placements[6] == 376_740
-    assert report.combinations[2] == 131_861_520
-    assert report.combinations[4] == 7_142_499_000
+    assert metrics["chain_7_6"] == 1716
+    assert metrics["chain_2_1"] == 3
+    assert metrics["total_orders"] == 348_840 == 3 * comb(21, 7)
+    assert metrics["placements_2"] == 378
+    assert metrics["placements_6"] == 376_740
+    assert metrics["combinations_2"] == 131_861_520
+    assert metrics["combinations_4"] == 7_142_499_000
 
 
 def test_linear_extension_counter_speed(benchmark):
     """The DP itself is a substrate worth timing (used by analyses)."""
+    from repro.analysis.combinatorics import count_linear_extensions
+    from repro.model.motion import motion_detection_application
+
     application = motion_detection_application()
     count = benchmark(count_linear_extensions, application.dag)
     assert count == 348_840

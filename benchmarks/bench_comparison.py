@@ -1,39 +1,25 @@
 """E3 — adaptive SA vs the GA baseline of Ben Chehida & Auguin [6].
 
-Paper numbers on the motion-detection benchmark (2000-CLB device):
-GA 28 ms in ~4 minutes vs adaptive SA 18.1 ms in <10 s.  The shape to
-reproduce: SA at least matches GA quality and is markedly faster.
+Thin shim over the registered case ``experiment/comparison``
+(:mod:`repro.bench.suites`).  Paper numbers on the motion-detection
+benchmark (2000-CLB device): GA 28 ms in ~4 minutes vs adaptive SA
+18.1 ms in <10 s.  The shape to reproduce: SA at least matches GA
+quality and is markedly faster.
 """
 
-from repro.experiments.comparison import run_comparison
-
-from benchmarks.conftest import bench_iters
+from benchmarks.conftest import run_case_via
 
 
 def test_sa_vs_ga(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_comparison(
-            n_clbs=2000,
-            sa_iterations=bench_iters(),
-            sa_warmup=1200,
-            ga_population=300,   # the population size of [6]
-            ga_generations=60,   # enough for the GA to plateau
-            seed=11,
-        ),
-        rounds=1,
-        iterations=1,
-    )
+    metrics = run_case_via(benchmark, "experiment/comparison")
 
-    print()
-    print(result.format_table())
-
-    assert result.sa_makespan_ms <= result.ga_makespan_ms + 1e-9, (
+    assert metrics["sa_makespan_ms"] <= metrics["ga_makespan_ms"] + 1e-9, (
         "SA must match or beat the GA flow"
     )
     # Paper: 4 min vs <10 s (~24x).  Our reimplemented GA memoizes
     # duplicate chromosomes and runs on 2026 hardware, so the ratio is
     # smaller, but SA must still be clearly faster at equal-or-better
     # quality (measured ratio recorded in EXPERIMENTS.md).
-    assert result.speedup > 2.0, "SA must be markedly faster than the GA"
-    assert result.sa_makespan_ms < result.deadline_ms
-    assert result.sa_runtime_s < 10.0, "the paper's run takes < 10 s"
+    assert metrics["speedup"] > 2.0, "SA must be markedly faster than the GA"
+    assert metrics["sa_makespan_ms"] < metrics["deadline_ms"]
+    assert metrics["sa_runtime_s"] < 10.0, "the paper's run takes < 10 s"

@@ -1,9 +1,10 @@
 """Engine benchmark — evaluations/sec, full rebuild vs incremental.
 
-Measures the annealer's hot operation (``Evaluator.evaluate`` after each
-move, with Metropolis-style rejected-move undos) for both evaluation
-engines across the motion-detection benchmark and small/medium/large
-random applications.  Parity is asserted on every single evaluation —
+Thin shim over the bench subsystem: instances come from the scenario
+corpus (:mod:`repro.bench.corpus`) and the annealer-shaped
+move/evaluate/undo loop is :func:`repro.bench.move_eval_loop` — the
+same loop the ``throughput/*`` suite cases record to
+``BENCH_<suite>.json``.  Parity is asserted on every single evaluation:
 the incremental engine must produce bit-identical makespans while being
 several times faster.
 
@@ -20,65 +21,32 @@ bitwise-parity test is never relaxed).
 import os
 import random
 import statistics
-import time
 
-from repro.arch.architecture import epicure_architecture
+from repro.bench import get_scenario, move_eval_loop
 from repro.errors import InfeasibleMoveError
 from repro.mapping.evaluator import Evaluator
 from repro.mapping.solution import random_initial_solution
-from repro.model.generator import GeneratorConfig, random_application
-from repro.model.motion import motion_detection_application
 from repro.sa.moves import MoveGenerator
 
 N_EVALS = int(os.environ.get("REPRO_BENCH_ENGINE_EVALS", 3000))
 REPS = int(os.environ.get("REPRO_BENCH_ENGINE_REPS", 3))
 ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ENGINE_ASSERT", "1") != "0"
 
-
-def _cases():
-    return [
-        ("small (12 tasks)",
-         random_application(GeneratorConfig(num_tasks=12), seed=1),
-         epicure_architecture(800)),
-        ("medium (40 tasks)",
-         random_application(GeneratorConfig(num_tasks=40), seed=2),
-         epicure_architecture(2000)),
-        ("large (120 tasks)",
-         random_application(GeneratorConfig(num_tasks=120), seed=3),
-         epicure_architecture(4000)),
-        ("motion detection",
-         motion_detection_application(),
-         epicure_architecture(2000)),
-    ]
+#: Corpus scenarios spanning the size axis of the original table.
+SCENARIOS = ("tgff/12", "tgff/36", "tgff/120", "motion/2000")
 
 
-def _evals_per_sec(app, arch, engine, n_evals, seed=7):
-    """Annealer-shaped loop: propose, apply, evaluate, 50% undo.  Only
-    the evaluate calls are timed."""
-    evaluator = Evaluator(app, arch, engine=engine)
-    rng = random.Random(seed)
-    solution = random_initial_solution(app, arch, rng, hw_fraction=0.5)
-    generator = MoveGenerator(app)
-    elapsed = 0.0
-    n = 0
-    while n < n_evals:
-        try:
-            move = generator.propose(solution, rng)
-            move.apply(solution)
-        except InfeasibleMoveError:
-            continue
-        t0 = time.perf_counter()
-        evaluator.evaluate(solution)
-        elapsed += time.perf_counter() - t0
-        n += 1
-        if rng.random() < 0.5:
-            move.undo(solution)
-    return n / elapsed
+def _evals_per_sec(instance, engine, n_evals, seed=7):
+    out = move_eval_loop(
+        instance, engine, n_evals, seed=seed, time_evals_only=True
+    )
+    return out["evaluations"] / out["eval_elapsed_s"]
 
 
-def _parity_makespans(app, arch, steps, seed=7):
+def _parity_makespans(instance, steps, seed=7):
     """Replay one move stream through both engines; returns the number
     of bit-identical makespan comparisons performed."""
+    app, arch = instance.application, instance.architecture
     full = Evaluator(app, arch, engine="full")
     inc = Evaluator(app, arch, engine="incremental")
     rng = random.Random(seed)
@@ -107,12 +75,13 @@ def test_engine_throughput():
     print(header)
     print("-" * len(header))
     speedups = {}
-    for name, app, arch in _cases():
+    for name in SCENARIOS:
+        instance = get_scenario(name).build()
         full = statistics.median(
-            _evals_per_sec(app, arch, "full", N_EVALS) for _ in range(REPS)
+            _evals_per_sec(instance, "full", N_EVALS) for _ in range(REPS)
         )
         inc = statistics.median(
-            _evals_per_sec(app, arch, "incremental", N_EVALS)
+            _evals_per_sec(instance, "incremental", N_EVALS)
             for _ in range(REPS)
         )
         speedups[name] = inc / full
@@ -128,6 +97,7 @@ def test_engine_throughput():
 
 def test_engine_parity_is_bit_identical():
     """Every benchmarked instance: makespans agree bitwise throughout."""
-    for name, app, arch in _cases():
-        compared = _parity_makespans(app, arch, steps=300)
+    for name in SCENARIOS:
+        instance = get_scenario(name).build()
+        compared = _parity_makespans(instance, steps=300)
         assert compared == 300, name

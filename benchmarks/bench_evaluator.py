@@ -1,84 +1,40 @@
 """A2 — incremental max-plus closure vs full longest-path recompute.
 
-The paper's section 4.4 motivates a Woodbury-type incremental update for
-the longest path.  This bench quantifies the trade-off on this
-implementation: per-edge-insertion cost of the O(n²) incremental closure
-against a full O(V+E) topological recompute, plus the throughput of the
-full solution evaluation pipeline on the motion benchmark.
+Thin shim over the ``kernel/*`` cases (:mod:`repro.bench.suites`): the
+paper's section 4.4 motivates a Woodbury-type incremental update for
+the longest path; this quantifies per-edge-insertion cost of the O(n²)
+incremental closure against a full O(V+E) topological recompute, plus
+the throughput of the full solution-evaluation pipeline on the motion
+benchmark.
 """
 
-import random
-
-from repro.arch.architecture import epicure_architecture
-from repro.graph.generators import layered
-from repro.graph.longest_path import longest_path_length
-from repro.graph.maxplus import MaxPlusClosure
-from repro.mapping.evaluator import Evaluator
-from repro.mapping.solution import random_initial_solution
-from repro.model.motion import motion_detection_application
-
-
-def _edge_stream(num_layers=8, width=5, seed=3):
-    dag = layered(num_layers, width, edge_probability=0.4, seed=seed)
-    rng = random.Random(seed)
-    edges = [(a, b, rng.uniform(0.5, 3.0)) for a, b, _ in dag.edges()]
-    nodes = list(dag.nodes())
-    return nodes, edges
+from benchmarks.conftest import run_case_via
 
 
 def test_incremental_closure_insertions(benchmark):
-    nodes, edges = _edge_stream()
-
-    def build_incrementally():
-        closure = MaxPlusClosure(nodes)
-        for a, b, w in edges:
-            closure.add_edge(a, b, w)
-        return closure.longest_path_length()
-
-    length = benchmark(build_incrementally)
-    assert length > 0
+    metrics = run_case_via(benchmark, "kernel/closure_incremental")
+    assert metrics["longest_path"] > 0
 
 
 def test_full_recompute_per_insertion(benchmark):
-    nodes, edges = _edge_stream()
-    from repro.graph.dag import Dag
-
-    def rebuild_every_time():
-        dag = Dag()
-        for n in nodes:
-            dag.add_node(n)
-        last = 0.0
-        for a, b, w in edges:
-            dag.add_edge(a, b, w)
-            last = longest_path_length(dag)  # full DP after each insert
-        return last
-
-    length = benchmark(rebuild_every_time)
-    assert length > 0
+    metrics = run_case_via(benchmark, "kernel/closure_full_recompute")
+    assert metrics["longest_path"] > 0
 
 
 def test_equivalence_of_both_paths():
-    """Not a timing: the two evaluation strategies agree exactly."""
-    nodes, edges = _edge_stream(seed=11)
-    from repro.graph.dag import Dag
+    """Both kernels agree on the final longest path (exactly)."""
+    from benchmarks.conftest import bench_context
+    from repro.bench import get_case
 
-    closure = MaxPlusClosure(nodes)
-    dag = Dag()
-    for n in nodes:
-        dag.add_node(n)
-    for a, b, w in edges:
-        closure.add_edge(a, b, w)
-        dag.add_edge(a, b, w)
-        assert abs(closure.longest_path_length() - longest_path_length(dag)) < 1e-9
+    context = bench_context()
+    incremental = get_case("kernel/closure_incremental")
+    full = get_case("kernel/closure_full_recompute")
+    a = incremental.run(context, incremental.prepare(context))
+    b = full.run(context, full.prepare(context))
+    assert a["longest_path"] == b["longest_path"]
+    assert a["edges"] == b["edges"]
 
 
 def test_solution_evaluation_throughput(benchmark):
-    """Full pipeline cost per candidate (the annealer's hot path)."""
-    application = motion_detection_application()
-    architecture = epicure_architecture(2000)
-    evaluator = Evaluator(application, architecture)
-    solution = random_initial_solution(
-        application, architecture, random.Random(5), hw_fraction=0.5
-    )
-    makespan = benchmark(evaluator.makespan_ms, solution)
-    assert makespan > 0
+    metrics = run_case_via(benchmark, "kernel/solution_evaluation")
+    assert metrics["makespan_ms"] > 0

@@ -1,50 +1,26 @@
 """E1 / Fig. 2 — evolution of execution time and number of contexts.
 
-Regenerates the two curves of the paper's Fig. 2 (printed as a
-downsampled table) and checks the narrative: infinite-temperature
-wandering for the warmup phase, then a fast drop below the 40 ms
-constraint, freezing well under it with a handful of contexts.
+Thin shim over the registered case ``experiment/fig2_trace``
+(:mod:`repro.bench.suites`): infinite-temperature wandering for the
+warmup phase, then a fast drop below the 40 ms constraint, freezing
+well under it with a handful of contexts.
 """
 
-from repro.analysis.plot import plot_trace
-from repro.experiments.fig2 import run_fig2
-from repro.model.motion import MOTION_DEADLINE_MS
-from repro.sa.trace import downsample
-
-from benchmarks.conftest import bench_iters
+from benchmarks.conftest import run_case_via
 
 
 def test_fig2_trace(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_fig2(
-            n_clbs=2000,
-            iterations=bench_iters(),
-            warmup_iterations=1200,
-            seed=7,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print()
-    print(result.format_summary())
-    print()
-    print(plot_trace(result.trace))
-    print()
-    print(f"{'iteration':>10} {'exec (ms)':>10} {'contexts':>9}")
-    for record in downsample(result.trace, every=max(len(result.trace) // 40, 1)):
-        print(
-            f"{record.iteration:>10} {record.current_cost:>10.2f} "
-            f"{record.num_contexts:>9}"
-        )
+    metrics = run_case_via(benchmark, "experiment/fig2_trace")
 
     # Paper-shape assertions.
-    ev = result.final_evaluation
-    lo, hi = result.warmup_spread()
-    assert hi - lo > 5.0, "warmup phase must explore broadly"
-    assert ev.makespan_ms < MOTION_DEADLINE_MS, "frozen solution must meet 40 ms"
-    assert ev.num_contexts >= 1
-    assert result.iterations_to_deadline() is not None
-    assert (
-        result.exploration.initial_evaluation.makespan_ms > ev.makespan_ms
-    ), "optimization must improve on the random initial solution"
+    assert metrics["warmup_hi"] - metrics["warmup_lo"] > 5.0, (
+        "warmup phase must explore broadly"
+    )
+    assert metrics["final_makespan_ms"] < metrics["deadline_ms"], (
+        "frozen solution must meet 40 ms"
+    )
+    assert metrics["num_contexts"] >= 1
+    assert metrics["iterations_to_deadline"] is not None
+    assert metrics["initial_makespan_ms"] > metrics["final_makespan_ms"], (
+        "optimization must improve on the random initial solution"
+    )

@@ -1,34 +1,21 @@
 """Cost-performance Pareto front (the introduction's framing of the tool).
 
-For a sweep of deadlines, run architecture exploration and report the
-cheapest platform found for each — tighter budgets must buy more
-hardware (monotone non-increasing cost as deadlines loosen).
+Thin shim over the registered case ``experiment/pareto_front``
+(:mod:`repro.bench.suites`): tighter budgets must buy more hardware
+(monotone non-increasing cost as deadlines loosen).
 """
 
-from repro.experiments.pareto import format_pareto_table, run_pareto_front
-
-from benchmarks.conftest import bench_iters
+from benchmarks.conftest import run_case_via
 
 
 def test_pareto_front(benchmark):
-    deadlines = (80.0, 60.0, 40.0, 30.0)
-    points = benchmark.pedantic(
-        lambda: run_pareto_front(
-            deadlines_ms=deadlines, iterations=bench_iters(),
-        ),
-        rounds=1,
-        iterations=1,
-    )
+    rows = run_case_via(benchmark, "experiment/pareto_front")["rows"]
 
-    print()
-    print(format_pareto_table(points))
-
-    by_deadline = {p.deadline_ms: p for p in points}
     # Loose deadlines are satisfiable.
-    assert by_deadline[80.0].meets_deadline
-    assert by_deadline[60.0].meets_deadline
-    assert by_deadline[40.0].meets_deadline
+    assert rows["80.0"]["meets_deadline"]
+    assert rows["60.0"]["meets_deadline"]
+    assert rows["40.0"]["meets_deadline"]
     # Cost is monotone: loosening the deadline never costs more.
-    ordered = sorted(points, key=lambda p: p.deadline_ms)
-    for tight, loose in zip(ordered, ordered[1:]):
-        assert loose.monetary_cost <= tight.monetary_cost + 1e-9
+    ordered = sorted(rows.items(), key=lambda item: float(item[0]))
+    for (_, tight), (_, loose) in zip(ordered, ordered[1:]):
+        assert loose["monetary_cost"] <= tight["monetary_cost"] + 1e-9

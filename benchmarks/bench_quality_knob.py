@@ -1,38 +1,23 @@
 """The designer's quality/time knob (paper abstract, section 4.1).
 
-Sweeping the adaptive schedule's single knob (``lambda_rate``) must
-trade computing time against solution quality: slower cooling runs
-longer and never ends up worse on average.
+Thin shim over the registered case ``experiment/quality_knob``
+(:mod:`repro.bench.suites`): slower cooling runs longer and never ends
+up worse on average.
 """
 
-from repro.experiments.quality import (
-    QUALITY_HEADER,
-    format_quality_table,
-    run_quality_knob,
-)
-
-from benchmarks.conftest import bench_runs
+from benchmarks.conftest import run_case_via
 
 
 def test_quality_knob(benchmark):
-    rates = (0.4, 0.1, 0.025)
-    rows = benchmark.pedantic(
-        lambda: run_quality_knob(lambda_rates=rates, runs=bench_runs()),
-        rounds=1,
-        iterations=1,
-    )
+    rows = run_case_via(benchmark, "experiment/quality_knob")["rows"]
 
-    print()
-    print(format_quality_table(rows))
-
-    by_rate = {row.lambda_rate: row for row in rows}
     # Slower cooling spends more iterations...
-    assert by_rate[0.025].mean_iterations > by_rate[0.4].mean_iterations
+    assert rows["0.025"]["mean_iterations"] > rows["0.4"]["mean_iterations"]
     # ...and buys at least as good a solution (with slack for noise).
     assert (
-        by_rate[0.025].makespan.mean
-        <= by_rate[0.4].makespan.mean + 1.5
+        rows["0.025"]["makespan"]["mean"]
+        <= rows["0.4"]["makespan"]["mean"] + 1.5
     )
     # Every setting still meets the paper's constraint on average.
-    for row in rows:
-        assert row.makespan.mean < 40.0
+    for row in rows.values():
+        assert row["makespan"]["mean"] < 40.0

@@ -1,0 +1,99 @@
+"""Scenario corpus + benchmark harness with machine-readable results.
+
+Layers (each usable on its own):
+
+* :mod:`repro.bench.corpus` — named, seed-deterministic scenario
+  families; every scenario materializes to a hashed
+  :class:`~repro.io.ProblemInstance`.
+* :mod:`repro.bench.harness` — the :class:`BenchCase` protocol, case
+  registry, and warmup/repeat timing with median/IQR and evals/sec.
+* :mod:`repro.bench.report` — versioned ``BENCH_<suite>.json`` results
+  documents and the ``compare()`` regression gate.
+* :mod:`repro.bench.suites` — the registered cases (corpus throughput
+  grid, multi-seed search, and the 14 ported benchmark scripts),
+  grouped into ``quick``/``full`` suites.
+
+CLI: ``repro bench run|list|compare``.
+"""
+
+from repro.bench.corpus import (
+    ARCHITECTURE_REGIMES,
+    CORPUS,
+    FAMILIES,
+    Scenario,
+    corpus_table,
+    get_scenario,
+    iter_scenarios,
+    register_family,
+    scenario,
+    scenario_hash,
+)
+from repro.bench.harness import (
+    ENGINES,
+    BenchCase,
+    BenchContext,
+    CaseResult,
+    FunctionCase,
+    SuiteRun,
+    bench_case,
+    context_for_suite,
+    get_case,
+    list_cases,
+    move_eval_loop,
+    register_case,
+    run_case,
+    run_suite,
+)
+from repro.bench.report import (
+    DEFAULT_SLOWDOWN_THRESHOLD,
+    CaseDelta,
+    Comparison,
+    capture_environment,
+    compare,
+    format_comparison,
+    format_results_table,
+    load_results,
+    results_document,
+    validate_results,
+    write_results,
+)
+from repro.bench import suites  # noqa: F401  (registers the cases)
+
+__all__ = [
+    "ARCHITECTURE_REGIMES",
+    "CORPUS",
+    "FAMILIES",
+    "Scenario",
+    "corpus_table",
+    "get_scenario",
+    "iter_scenarios",
+    "register_family",
+    "scenario",
+    "scenario_hash",
+    "ENGINES",
+    "BenchCase",
+    "BenchContext",
+    "CaseResult",
+    "FunctionCase",
+    "SuiteRun",
+    "bench_case",
+    "context_for_suite",
+    "get_case",
+    "list_cases",
+    "move_eval_loop",
+    "register_case",
+    "run_case",
+    "run_suite",
+    "DEFAULT_SLOWDOWN_THRESHOLD",
+    "CaseDelta",
+    "Comparison",
+    "capture_environment",
+    "compare",
+    "format_comparison",
+    "format_results_table",
+    "load_results",
+    "results_document",
+    "validate_results",
+    "write_results",
+    "suites",
+]

@@ -1,0 +1,308 @@
+"""Versioned machine-readable bench results + regression comparison.
+
+``BENCH_<suite>.json`` documents carry a format/version pair, an
+environment capture, the scenario identity table (name → content hash),
+and one entry per case with raw timings, median/IQR, evals/sec, and the
+case's own metrics.  :func:`compare` diffs two documents: a case whose
+median slowed beyond the threshold is a **regression**, a scenario
+whose hash changed is **drift** (timings of different instances are not
+comparable), and both make ``repro bench compare`` exit non-zero — the
+regression gate every subsequent performance PR runs against the
+previous trajectory point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import __version__
+from repro.bench.harness import SuiteRun
+from repro.errors import ConfigurationError
+
+RESULTS_FORMAT = "bench-results"
+RESULTS_VERSION = 1
+
+#: A case counts as regressed when ``new_median > threshold * old_median``.
+DEFAULT_SLOWDOWN_THRESHOLD = 1.3
+
+#: ...and the absolute slowdown also exceeds this floor.  Millisecond
+#: cases jitter by double-digit percentages on shared machines; a
+#: ratio-only gate would flag them constantly while a 30% slowdown of a
+#: minutes-long sweep (the regressions that matter) clears any floor.
+DEFAULT_MIN_DELTA_S = 0.05
+
+
+# ----------------------------------------------------------------------
+# results documents
+# ----------------------------------------------------------------------
+def capture_environment() -> Dict[str, Any]:
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def results_document(
+    suite_run: SuiteRun,
+    environment: Optional[Dict[str, Any]] = None,
+    created_unix: Optional[float] = None,
+) -> Dict[str, Any]:
+    context = suite_run.context
+    return {
+        "format": RESULTS_FORMAT,
+        "version": RESULTS_VERSION,
+        "suite": suite_run.suite,
+        "created_unix": time.time() if created_unix is None else created_unix,
+        "environment": (
+            capture_environment() if environment is None else environment
+        ),
+        "context": {
+            "jobs": context.jobs,
+            "repeats": context.repeats,
+            "warmup": context.warmup,
+            "evals": context.evals,
+            "iterations": context.iterations,
+            "runs": context.runs,
+            "seed": context.seed,
+        },
+        "scenarios": suite_run.scenarios,
+        "cases": [
+            {
+                "name": result.name,
+                "suites": list(result.suites),
+                "scenarios": list(result.scenarios),
+                "timings_s": result.timings_s,
+                "median_s": result.median_s,
+                "iqr_s": result.iqr_s,
+                "evals_per_sec": result.evals_per_sec,
+                "metrics": result.metrics,
+            }
+            for result in suite_run.results
+        ],
+    }
+
+
+def validate_results(document: Dict[str, Any]) -> None:
+    """Schema check: loud failure beats silently comparing junk."""
+    if document.get("format") != RESULTS_FORMAT:
+        raise ConfigurationError(
+            f"expected a {RESULTS_FORMAT!r} document, "
+            f"got {document.get('format')!r}"
+        )
+    if document.get("version") != RESULTS_VERSION:
+        raise ConfigurationError(
+            f"unsupported results version {document.get('version')!r}"
+        )
+    for key in ("suite", "environment", "scenarios", "cases"):
+        if key not in document:
+            raise ConfigurationError(f"results document lacks {key!r}")
+    if not isinstance(document["cases"], list):
+        raise ConfigurationError("'cases' must be a list")
+    for entry in document["cases"]:
+        for key in ("name", "timings_s", "median_s", "metrics"):
+            if key not in entry:
+                raise ConfigurationError(
+                    f"case entry {entry.get('name', '?')!r} lacks {key!r}"
+                )
+    for name, descriptor in document["scenarios"].items():
+        if "hash" not in descriptor:
+            raise ConfigurationError(f"scenario {name!r} lacks its hash")
+
+
+def write_results(document: Dict[str, Any], path: str) -> None:
+    validate_results(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        document = json.load(handle)
+    validate_results(document)
+    return document
+
+
+# ----------------------------------------------------------------------
+# comparison / regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CaseDelta:
+    name: str
+    old_median_s: float
+    new_median_s: float
+    ratio: float
+    status: str  # "ok" | "regression" | "improved"
+
+
+@dataclass
+class Comparison:
+    threshold: float
+    deltas: List[CaseDelta] = field(default_factory=list)
+    scenario_drift: List[str] = field(default_factory=list)
+    missing_cases: List[str] = field(default_factory=list)
+    new_cases: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.scenario_drift
+
+
+def compare(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = DEFAULT_SLOWDOWN_THRESHOLD,
+    min_delta_s: float = DEFAULT_MIN_DELTA_S,
+) -> Comparison:
+    """Diff two results documents case-by-case.
+
+    A case regresses when its new median exceeds ``threshold ×`` the
+    old one **and** the absolute slowdown exceeds ``min_delta_s`` (the
+    noise floor for sub-millisecond cases); the symmetric bounds report
+    it improved.  Scenario-hash drift is always a failure regardless of
+    timing — timings of different instances are not comparable.
+    """
+    validate_results(old)
+    validate_results(new)
+    if threshold <= 1.0:
+        raise ConfigurationError("threshold must be > 1.0")
+    if min_delta_s < 0.0:
+        raise ConfigurationError("min_delta_s must be >= 0")
+    if old["suite"] != new["suite"]:
+        raise ConfigurationError(
+            f"cannot compare suite {old['suite']!r} against "
+            f"{new['suite']!r}: medians from different suites measure "
+            "different workloads"
+        )
+    old_context = old.get("context", {})
+    new_context = new.get("context", {})
+    mismatched = sorted(
+        key
+        for key in set(old_context) | set(new_context)
+        if old_context.get(key) != new_context.get(key)
+    )
+    if mismatched:
+        raise ConfigurationError(
+            "cannot compare runs with different measurement contexts "
+            f"(differing knobs: {mismatched}); re-run both sides with "
+            "the same bench settings"
+        )
+    old_cases = {entry["name"]: entry for entry in old["cases"]}
+    new_cases = {entry["name"]: entry for entry in new["cases"]}
+    comparison = Comparison(threshold=threshold)
+    comparison.missing_cases = sorted(set(old_cases) - set(new_cases))
+    comparison.new_cases = sorted(set(new_cases) - set(old_cases))
+    for name in sorted(set(old_cases) & set(new_cases)):
+        old_median = float(old_cases[name]["median_s"])
+        new_median = float(new_cases[name]["median_s"])
+        if old_median <= 0.0:
+            continue  # degenerate timing: nothing meaningful to gate on
+        ratio = new_median / old_median
+        if ratio > threshold and new_median - old_median > min_delta_s:
+            status = "regression"
+        elif ratio < 1.0 / threshold and old_median - new_median > min_delta_s:
+            status = "improved"
+        else:
+            status = "ok"
+        comparison.deltas.append(
+            CaseDelta(
+                name=name,
+                old_median_s=old_median,
+                new_median_s=new_median,
+                ratio=ratio,
+                status=status,
+            )
+        )
+    old_hashes = {
+        name: descriptor["hash"]
+        for name, descriptor in old["scenarios"].items()
+    }
+    for name, descriptor in new["scenarios"].items():
+        if name in old_hashes and descriptor["hash"] != old_hashes[name]:
+            comparison.scenario_drift.append(name)
+    comparison.scenario_drift.sort()
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def format_results_table(document: Dict[str, Any]) -> str:
+    """Markdown table of one results document."""
+    lines = [
+        f"### bench suite `{document['suite']}` "
+        f"({len(document['cases'])} cases, "
+        f"{len(document['scenarios'])} scenarios)",
+        "",
+        "| case | median | IQR | evals/sec |",
+        "|---|---:|---:|---:|",
+    ]
+    for entry in document["cases"]:
+        evals = entry.get("evals_per_sec")
+        lines.append(
+            f"| {entry['name']} | {_format_seconds(entry['median_s'])} "
+            f"| {_format_seconds(entry.get('iqr_s', 0.0))} "
+            f"| {f'{evals:,.0f}' if evals else '—'} |"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Markdown regression report for ``repro bench compare``."""
+    lines = [
+        "### bench comparison "
+        f"(slowdown threshold {comparison.threshold:.2f}x)",
+        "",
+        "| case | old | new | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for delta in comparison.deltas:
+        marker = {"regression": "**REGRESSION**", "improved": "improved"}.get(
+            delta.status, "ok"
+        )
+        lines.append(
+            f"| {delta.name} | {_format_seconds(delta.old_median_s)} "
+            f"| {_format_seconds(delta.new_median_s)} "
+            f"| {delta.ratio:.2f}x | {marker} |"
+        )
+    if comparison.scenario_drift:
+        lines.append("")
+        lines.append(
+            "**scenario drift** (instance hash changed — timings not "
+            "comparable): " + ", ".join(comparison.scenario_drift)
+        )
+    if comparison.missing_cases:
+        lines.append("")
+        lines.append("missing in new run: " + ", ".join(comparison.missing_cases))
+    if comparison.new_cases:
+        lines.append("")
+        lines.append("new cases: " + ", ".join(comparison.new_cases))
+    lines.append("")
+    lines.append(
+        "verdict: "
+        + ("OK" if comparison.ok else
+           f"{len(comparison.regressions)} regression(s), "
+           f"{len(comparison.scenario_drift)} drifted scenario(s)")
+    )
+    return "\n".join(lines)

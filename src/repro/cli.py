@@ -8,6 +8,10 @@ Commands
 ``compare``    adaptive SA vs the GA baseline (``--jobs N`` parallel)
 ``portfolio``  race all search strategies on one instance
 ``info``       describe an application (tasks, structure, solution space)
+``bench``      scenario-corpus benchmark suites: ``bench run`` writes a
+               machine-readable ``BENCH_<suite>.json``, ``bench list``
+               shows cases + scenarios, ``bench compare`` is the
+               regression gate (non-zero exit on slowdown/drift)
 
 Every command accepts ``--seed`` for reproducibility and prints plain
 text; machine-readable output goes through ``--save`` (JSON).  Batch
@@ -157,6 +161,73 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        context_for_suite,
+        format_results_table,
+        results_document,
+        run_suite,
+        write_results,
+    )
+
+    context = context_for_suite(
+        args.suite,
+        jobs=args.jobs,
+        repeats=args.repeats,
+        warmup=args.bench_warmup,
+        evals=args.evals,
+        iterations=args.iterations,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    suite_run = run_suite(
+        args.suite, context, pattern=args.filter, progress=print
+    )
+    document = results_document(suite_run)
+    out_path = args.out or f"BENCH_{args.suite}.json"
+    write_results(document, out_path)
+    print()
+    print(format_results_table(document))
+    print()
+    print(f"results written to {out_path} "
+          f"({len(document['cases'])} cases, "
+          f"{len(document['scenarios'])} scenarios)")
+    if args.verbose:
+        for result in suite_run.results:
+            if result.report:
+                print()
+                print(f"--- {result.name}")
+                print(result.report)
+    return 0
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import CORPUS, corpus_table, list_cases
+
+    suite = None if args.suite == "all" else args.suite
+    cases = list_cases(suite=suite, pattern=args.filter)
+    print(f"bench cases ({len(cases)}):")
+    for case in cases:
+        print(f"  {case.name:<42} suites={','.join(case.suites)}")
+    print()
+    print(f"scenario corpus ({len(CORPUS)}):")
+    print(corpus_table())
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare, format_comparison, load_results
+
+    comparison = compare(
+        load_results(args.old),
+        load_results(args.new),
+        threshold=args.threshold,
+        min_delta_s=args.min_delta,
+    )
+    print(format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     application = _load_app(args.application)
     print(f"application: {application.name}")
@@ -242,6 +313,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
     p.add_argument("--clbs", type=int, default=2000)
     p.set_defaults(func=cmd_portfolio)
+
+    p = sub.add_parser(
+        "bench",
+        help="scenario-corpus benchmark suites (run | list | compare)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    p = bench_sub.add_parser(
+        "run", help="run a suite, write BENCH_<suite>.json"
+    )
+    p.add_argument("--suite", default="quick", choices=["quick", "full"])
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for multi-seed cases")
+    p.add_argument("--filter", metavar="SUBSTR",
+                   help="only run cases whose name contains SUBSTR")
+    p.add_argument("--out", metavar="PATH",
+                   help="results path (default: BENCH_<suite>.json)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timed repetitions per case (suite default)")
+    p.add_argument("--bench-warmup", type=int, default=None,
+                   help="untimed warmup runs per case (suite default)")
+    p.add_argument("--evals", type=int, default=None,
+                   help="evaluations per throughput measurement")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="search iterations for search-shaped cases")
+    p.add_argument("--runs", type=int, default=None,
+                   help="seeds per multi-seed case")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--verbose", action="store_true",
+                   help="print each case's full report")
+    p.set_defaults(func=cmd_bench_run)
+
+    p = bench_sub.add_parser(
+        "list", help="list registered cases and the scenario corpus"
+    )
+    p.add_argument("--suite", default="all", choices=["quick", "full", "all"])
+    p.add_argument("--filter", metavar="SUBSTR")
+    p.set_defaults(func=cmd_bench_list)
+
+    p = bench_sub.add_parser(
+        "compare",
+        help="regression gate: exits non-zero on slowdown or "
+             "scenario drift",
+    )
+    p.add_argument("old", help="baseline BENCH_*.json")
+    p.add_argument("new", help="candidate BENCH_*.json")
+    p.add_argument("--threshold", type=float, default=1.3,
+                   help="tolerated slowdown factor (default 1.3)")
+    p.add_argument("--min-delta", type=float, default=0.05,
+                   help="absolute noise floor in seconds: slowdowns "
+                        "smaller than this never count (default 0.05)")
+    p.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("info", help="describe an application")
     p.add_argument("--application")

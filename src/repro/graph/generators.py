@@ -50,6 +50,68 @@ def fork_join(width: int) -> Dag:
     return dag
 
 
+def fork_join_chain(widths: Sequence[int]) -> Dag:
+    """Sequential fork-join blocks sharing their junction nodes.
+
+    Block ``i`` forks from a junction node into ``widths[i]`` parallel
+    nodes that join on the next junction, so the whole graph is a chain
+    of diamonds — the classic map-reduce / pipeline-stage shape.  Node
+    0 is the unique source, junctions follow their block's parallel
+    nodes, and the final junction is the unique sink.  Total node count
+    is ``1 + len(widths) + sum(widths)``.
+    """
+    if not widths or any(w < 1 for w in widths):
+        raise ConfigurationError("every fork_join_chain width must be >= 1")
+    dag = Dag()
+    dag.add_node(0)
+    fork = 0
+    next_id = 1
+    for width in widths:
+        members = list(range(next_id, next_id + width))
+        join = next_id + width
+        next_id = join + 1
+        for node in members:
+            dag.add_node(node)
+            dag.add_edge(fork, node)
+        dag.add_node(join)
+        for node in members:
+            dag.add_edge(node, join)
+        fork = join
+    return dag
+
+
+def fork_join_chain_widths(
+    num_nodes: int, seed: RandomLike = None
+) -> List[int]:
+    """Block widths whose :func:`fork_join_chain` has ``num_nodes`` nodes.
+
+    Picks roughly square blocks (width ~ sqrt(n)) and spreads the
+    remainder over the blocks; with a seed the per-block widths are
+    shuffled so different seeds give different (but equally sized)
+    ladders.  Deterministic for a given ``(num_nodes, seed)``.
+    """
+    if num_nodes < 4:
+        raise ConfigurationError("fork_join_chain needs num_nodes >= 4")
+    width = max(2, int(num_nodes ** 0.5))
+    blocks = max(1, round((num_nodes - 1) / (width + 1)))
+    widths = [width] * blocks
+    # 1 + blocks + sum(widths) must equal num_nodes: adjust widths by
+    # +/-1 round-robin (never below 1).
+    deficit = num_nodes - (1 + blocks + sum(widths))
+    index = 0
+    while deficit != 0:
+        if deficit > 0:
+            widths[index % blocks] += 1
+            deficit -= 1
+        elif widths[index % blocks] > 1:
+            widths[index % blocks] -= 1
+            deficit += 1
+        index += 1
+    rng = _rng(seed)
+    rng.shuffle(widths)
+    return widths
+
+
 def layered(
     num_layers: int,
     width: int,

@@ -10,6 +10,7 @@ implementation and edge.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.arch.architecture import Architecture
@@ -114,6 +115,7 @@ def architecture_to_dict(architecture: Architecture) -> Dict[str, Any]:
             entry["kind"] = "reconfigurable"
             entry["n_clbs"] = resource.n_clbs
             entry["reconfig_ms_per_clb"] = resource.reconfig_ms_per_clb
+            entry["partial_reconfiguration"] = resource.partial_reconfiguration
         elif isinstance(resource, Asic):
             entry["kind"] = "asic"
         else:  # pragma: no cover - defensive
@@ -159,6 +161,9 @@ def architecture_from_dict(data: Dict[str, Any]) -> Architecture:
                     n_clbs=entry["n_clbs"],
                     reconfig_ms_per_clb=entry["reconfig_ms_per_clb"],
                     monetary_cost=entry.get("monetary_cost", 0.0),
+                    partial_reconfiguration=entry.get(
+                        "partial_reconfiguration", True
+                    ),
                 )
             )
         elif kind == "asic":
@@ -176,6 +181,57 @@ def dump_architecture(architecture: Architecture, indent: int = 2) -> str:
 
 def load_architecture(text: str) -> Architecture:
     return architecture_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# bundled problem instances
+# ----------------------------------------------------------------------
+@dataclass
+class ProblemInstance:
+    """One self-contained DSE problem: what to map, onto what, by when.
+
+    The bundled document is what the benchmark corpus hashes and what
+    users archive next to results — a mapping experiment is not
+    reproducible from an application alone.  ``metadata`` is free-form
+    JSON (the corpus stores ``family``/``params``/``seed`` there).
+    """
+
+    application: Application
+    architecture: Architecture
+    deadline_ms: Optional[float] = None
+    name: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def instance_to_dict(instance: ProblemInstance) -> Dict[str, Any]:
+    return {
+        "format": "instance",
+        "version": FORMAT_VERSION,
+        "name": instance.name or instance.application.name,
+        "deadline_ms": instance.deadline_ms,
+        "application": application_to_dict(instance.application),
+        "architecture": architecture_to_dict(instance.architecture),
+        "metadata": instance.metadata,
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> ProblemInstance:
+    _check_version(data, "instance")
+    return ProblemInstance(
+        application=application_from_dict(data["application"]),
+        architecture=architecture_from_dict(data["architecture"]),
+        deadline_ms=data.get("deadline_ms"),
+        name=data.get("name", ""),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def dump_instance(instance: ProblemInstance, indent: int = 2) -> str:
+    return json.dumps(instance_to_dict(instance), indent=indent)
+
+
+def load_instance(text: str) -> ProblemInstance:
+    return instance_from_dict(json.loads(text))
 
 
 # ----------------------------------------------------------------------

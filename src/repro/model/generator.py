@@ -15,12 +15,25 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
-from repro.graph.generators import layered, tgff_like
+from repro.graph.generators import (
+    fork_join_chain,
+    fork_join_chain_widths,
+    layered,
+    series_parallel,
+    tgff_like,
+)
 from repro.model.application import Application
 from repro.model.functions import FUNCTION_LIBRARY, synthesize_implementations
 from repro.model.task import Task
 
 RandomLike = Union[int, random.Random, None]
+
+#: Supported task-graph shapes.  All four materialize through the
+#: seed-deterministic generators in :mod:`repro.graph.generators` — no
+#: code path below may touch the global ``random`` module, so the same
+#: ``(config, seed)`` always hashes to the same instance (pinned by
+#: ``tests/bench/test_corpus.py``).
+TOPOLOGIES = ("tgff", "layered", "series_parallel", "fork_join")
 
 
 @dataclass(frozen=True)
@@ -28,7 +41,7 @@ class GeneratorConfig:
     """Knobs of the random application generator."""
 
     num_tasks: int = 20
-    topology: str = "tgff"  # "tgff" | "layered"
+    topology: str = "tgff"  # "tgff" | "layered" | "series_parallel" | "fork_join"
     software_only_fraction: float = 0.2
     min_sw_ms: float = 0.5
     max_sw_ms: float = 8.0
@@ -38,8 +51,14 @@ class GeneratorConfig:
     def validate(self) -> None:
         if self.num_tasks < 1:
             raise ConfigurationError("num_tasks must be >= 1")
-        if self.topology not in ("tgff", "layered"):
-            raise ConfigurationError("topology must be 'tgff' or 'layered'")
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"topology must be one of {sorted(TOPOLOGIES)}"
+            )
+        if self.topology in ("series_parallel", "fork_join") and self.num_tasks < 4:
+            raise ConfigurationError(
+                f"{self.topology} applications need num_tasks >= 4"
+            )
         if not 0.0 <= self.software_only_fraction <= 1.0:
             raise ConfigurationError("software_only_fraction must lie in [0, 1]")
         if not 0 < self.min_sw_ms <= self.max_sw_ms:
@@ -60,6 +79,10 @@ def random_application(
 
     if config.topology == "tgff":
         dag = tgff_like(config.num_tasks, seed=rng)
+    elif config.topology == "series_parallel":
+        dag = series_parallel(config.num_tasks, seed=rng)
+    elif config.topology == "fork_join":
+        dag = fork_join_chain(fork_join_chain_widths(config.num_tasks, seed=rng))
     else:
         width = max(2, round(config.num_tasks ** 0.5))
         layers = max(1, (config.num_tasks + width - 1) // width)

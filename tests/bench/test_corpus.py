@@ -1,0 +1,125 @@
+"""Scenario corpus: registry shape, determinism, hashing."""
+
+import pytest
+
+from repro.bench import corpus
+from repro.bench.corpus import (
+    ARCHITECTURE_REGIMES,
+    CORPUS,
+    FAMILIES,
+    get_scenario,
+    iter_scenarios,
+    scenario,
+    scenario_hash,
+)
+from repro.errors import ConfigurationError
+from repro.io import instance_to_dict
+
+#: Cross-version determinism pin: the same ``(family, params, seed)``
+#: must materialize to a bit-identical instance document on every run,
+#: machine and supported Python version.  If one of these changes, the
+#: instance *content* changed — every archived BENCH_*.json baseline is
+#: invalidated and the corpus needs a version bump, not a test edit.
+GOLDEN_HASHES = {
+    "tgff/12":
+        "1a8c496b7480f54703e09affb55e64b24e9c02e28caa8d4d27715486f72f91be",
+    "layered/24":
+        "a4853cd6a1e91e247082d757279bb1cba8187d66546d82f72256e0157e3f07b2",
+    "series_parallel/24":
+        "2e0117f6ab9ce0365d360ae7c2605eec47889ef2b8f03577cf1128fe642d12e6",
+    "fork_join/24":
+        "52a638c28bfee435a7e12e9a87e1e777fb661bb1abb948615390f109dd1b7ff4",
+    "motion/2000":
+        "3f74890ca02b353777a2fa08eeeb6295859592595155ce0ea32d9fb3fee173b1",
+}
+
+
+class TestRegistry:
+    def test_families_cover_all_topologies(self):
+        assert {"motion", "tgff", "layered", "series_parallel",
+                "fork_join"} <= set(FAMILIES)
+
+    def test_corpus_is_nonempty_and_named_uniquely(self):
+        assert len(CORPUS) >= 20
+        assert len({s.name for s in CORPUS.values()}) == len(CORPUS)
+
+    def test_quick_subset_covers_the_acceptance_axes(self):
+        quick = list(iter_scenarios(tag="quick"))
+        assert len(quick) >= 12
+        assert len({s.family for s in quick}) >= 4
+
+    def test_family_filter(self):
+        tgff = list(iter_scenarios(family="tgff"))
+        assert tgff and all(s.family == "tgff" for s in tgff)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("no/such/scenario")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario("no_such_family")
+
+    def test_duplicate_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corpus.register_family("motion")(lambda seed: None)
+
+
+class TestMaterialization:
+    def test_build_sets_name_and_metadata(self):
+        entry = get_scenario("tgff/36")
+        instance = entry.build()
+        assert instance.name == "tgff/36"
+        assert instance.metadata["family"] == "tgff"
+        assert instance.metadata["seed"] == entry.seed
+        assert instance.metadata["params"] == {"num_tasks": 36}
+        assert len(instance.application) == 36
+        assert instance.deadline_ms is not None
+        instance.application.validate()
+        instance.architecture.validate()
+
+    def test_regimes(self):
+        asic_rich = get_scenario("motion/asic_rich").build()
+        assert len(asic_rich.architecture.asics()) == 2
+        bus_starved = get_scenario("motion/bus_starved").build()
+        assert bus_starved.architecture.bus.rate_kbytes_per_ms == 5.0
+        rc_heavy = get_scenario("motion/rc_heavy").build()
+        assert len(rc_heavy.architecture.reconfigurable_circuits()) == 2
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario("tgff", num_tasks=12, regime="quantum").build()
+
+    def test_regime_list_is_exhaustive(self):
+        for regime in ARCHITECTURE_REGIMES:
+            instance = scenario(
+                "tgff", num_tasks=12, regime=regime
+            ).build()
+            instance.architecture.validate()
+
+
+class TestDeterminism:
+    def test_rebuild_is_bit_identical(self):
+        entry = get_scenario("series_parallel/48")
+        assert instance_to_dict(entry.build()) == instance_to_dict(entry.build())
+        assert scenario_hash(entry) == scenario_hash(entry)
+
+    def test_different_seeds_differ(self):
+        a = scenario("tgff", seed=1, num_tasks=20)
+        b = scenario("tgff", seed=2, num_tasks=20)
+        assert scenario_hash(a) != scenario_hash(b)
+
+    def test_golden_hashes(self):
+        """Same seed -> identical instance hash, pinned across versions.
+
+        Guards against global-``random`` leakage anywhere under
+        ``model.generator`` / ``graph.generators`` / ``io`` — any
+        nondeterminism or content drift changes these digests.
+        """
+        for name, expected in GOLDEN_HASHES.items():
+            assert scenario_hash(get_scenario(name)) == expected, name
+
+    def test_hash_covers_architecture(self):
+        small = scenario("tgff", num_tasks=12, n_clbs=500)
+        large = scenario("tgff", num_tasks=12, n_clbs=5000)
+        assert scenario_hash(small) != scenario_hash(large)

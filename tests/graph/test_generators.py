@@ -74,6 +74,61 @@ class TestSeriesParallel:
         with pytest.raises(ConfigurationError):
             gen.series_parallel(1)
 
+    def test_every_node_on_a_source_sink_path(self):
+        dag = gen.series_parallel(30, seed=7)
+        for node in dag.nodes():
+            if node != 0:
+                assert dag.in_degree(node) >= 1
+            if node != 1:
+                assert dag.out_degree(node) >= 1
+
+    def test_determinism(self):
+        a = gen.series_parallel(25, seed=11)
+        b = gen.series_parallel(25, seed=11)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestForkJoinChain:
+    def test_shape(self):
+        dag = gen.fork_join_chain([3, 2])
+        # 0 -> {1,2,3} -> 4 -> {5,6} -> 7
+        assert len(dag) == 1 + 2 + 5
+        assert dag.sources() == [0]
+        assert dag.sinks() == [7]
+        assert dag.out_degree(0) == 3
+        assert dag.in_degree(4) == 3
+        assert dag.out_degree(4) == 2
+        assert dag.in_degree(7) == 2
+        assert dag.is_acyclic()
+
+    def test_single_block_matches_fork_join(self):
+        chained = gen.fork_join_chain([4])
+        simple = gen.fork_join(4)
+        assert len(chained) == len(simple)
+        assert chained.sources() == simple.sources()
+        assert sorted(chained.edges()) == sorted(simple.edges())
+
+    def test_widths_hit_requested_node_count(self):
+        for n in range(4, 130):
+            widths = gen.fork_join_chain_widths(n, seed=n)
+            assert all(w >= 1 for w in widths)
+            dag = gen.fork_join_chain(widths)
+            assert len(dag) == n == 1 + len(widths) + sum(widths)
+            assert len(dag.sources()) == 1
+            assert len(dag.sinks()) == 1
+
+    def test_widths_deterministic(self):
+        assert gen.fork_join_chain_widths(60, seed=3) == \
+            gen.fork_join_chain_widths(60, seed=3)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            gen.fork_join_chain([])
+        with pytest.raises(ConfigurationError):
+            gen.fork_join_chain([2, 0])
+        with pytest.raises(ConfigurationError):
+            gen.fork_join_chain_widths(3)
+
 
 class TestTgffLike:
     def test_shape(self):

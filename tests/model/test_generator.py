@@ -40,6 +40,35 @@ class TestGeneration:
         app.validate()
         assert len(app) <= 16
 
+    @pytest.mark.parametrize("topology", ["series_parallel", "fork_join"])
+    def test_structured_topologies_exact_size(self, topology):
+        for n in (4, 12, 60, 240):
+            app = random_application(
+                GeneratorConfig(num_tasks=n, topology=topology), seed=5
+            )
+            app.validate()
+            assert len(app) == n
+            # two-terminal shapes: one entry task, one exit task
+            assert len(app.sources()) == 1
+            assert len(app.sinks()) == 1
+
+    @pytest.mark.parametrize("topology", ["series_parallel", "fork_join"])
+    def test_structured_topologies_deterministic(self, topology):
+        a = random_application(
+            GeneratorConfig(num_tasks=24, topology=topology), seed=13
+        )
+        b = random_application(
+            GeneratorConfig(num_tasks=24, topology=topology), seed=13
+        )
+        assert sorted(a.dependencies()) == sorted(b.dependencies())
+        for task in a.tasks():
+            assert b.task(task.index).sw_time_ms == task.sw_time_ms
+
+    def test_structured_topologies_need_four_tasks(self):
+        for topology in ("series_parallel", "fork_join"):
+            with pytest.raises(ConfigurationError):
+                GeneratorConfig(num_tasks=3, topology=topology).validate()
+
     def test_software_only_fraction_extremes(self):
         all_sw = random_application(
             GeneratorConfig(num_tasks=12, software_only_fraction=1.0), seed=3

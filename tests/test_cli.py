@@ -123,6 +123,59 @@ class TestPortfolio:
             assert kind in out
 
 
+class TestBench:
+    def test_list_shows_cases_and_corpus(self, capsys):
+        assert main(["bench", "list", "--suite", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput/motion/2000@incremental" in out
+        assert "scenario corpus" in out
+        assert "series_parallel/24" in out
+
+    def test_run_writes_schema_valid_results(self, tmp_path, capsys):
+        from repro.bench import load_results
+
+        out_path = tmp_path / "BENCH_quick.json"
+        assert main([
+            "bench", "run", "--suite", "quick",
+            "--filter", "throughput/tgff/12",
+            "--evals", "10", "--repeats", "1", "--bench-warmup", "0",
+            "--out", str(out_path),
+        ]) == 0
+        document = load_results(str(out_path))  # validates the schema
+        assert document["suite"] == "quick"
+        assert len(document["cases"]) == 2  # full + incremental
+        assert "tgff/12" in document["scenarios"]
+        out = capsys.readouterr().out
+        assert "results written to" in out
+        assert "bench suite `quick`" in out
+
+    def test_compare_gate_exit_codes(self, tmp_path, capsys):
+        import copy
+
+        from repro.bench import load_results, write_results
+
+        out_path = tmp_path / "old.json"
+        assert main([
+            "bench", "run", "--suite", "quick",
+            "--filter", "analysis/combinatorics",
+            "--repeats", "1", "--bench-warmup", "0",
+            "--out", str(out_path),
+        ]) == 0
+        document = load_results(str(out_path))
+        slow = copy.deepcopy(document)
+        slow["cases"][0]["median_s"] = (
+            document["cases"][0]["median_s"] * 2 + 1.0
+        )
+        slow_path = tmp_path / "new.json"
+        write_results(slow, str(slow_path))
+        capsys.readouterr()
+        # identical documents: gate passes
+        assert main(["bench", "compare", str(out_path), str(out_path)]) == 0
+        # injected slowdown: non-zero exit
+        assert main(["bench", "compare", str(out_path), str(slow_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

@@ -8,12 +8,17 @@ import pytest
 from repro.arch.architecture import Architecture, epicure_architecture
 from repro.arch.asic import Asic
 from repro.errors import ConfigurationError, MappingError
+from repro.arch.reconfigurable import ReconfigurableCircuit
 from repro.io import (
+    ProblemInstance,
     dump_application,
     dump_architecture,
+    dump_instance,
     dump_solution,
+    instance_to_dict,
     load_application,
     load_architecture,
+    load_instance,
     load_solution,
 )
 from repro.mapping.evaluator import Evaluator
@@ -71,6 +76,55 @@ class TestArchitectureRoundTrip:
         data["resources"][0]["kind"] = "quantum"
         with pytest.raises(ConfigurationError):
             load_architecture(json.dumps(data))
+
+
+class TestInstanceRoundTrip:
+    def test_exact_roundtrip(self, motion_app, epicure):
+        instance = ProblemInstance(
+            application=motion_app,
+            architecture=epicure,
+            deadline_ms=40.0,
+            name="motion@epicure",
+            metadata={"family": "motion", "seed": 0, "params": {"n_clbs": 2000}},
+        )
+        again = load_instance(dump_instance(instance))
+        assert again.name == "motion@epicure"
+        assert again.deadline_ms == 40.0
+        assert again.metadata == instance.metadata
+        # the bundled sub-documents round-trip exactly
+        assert instance_to_dict(again) == instance_to_dict(instance)
+        assert sorted(again.application.dependencies()) == sorted(
+            motion_app.dependencies()
+        )
+        assert {r.name for r in again.architecture.resources()} == {
+            r.name for r in epicure.resources()
+        }
+
+    def test_optional_fields_default(self, small_app, small_arch):
+        instance = ProblemInstance(small_app, small_arch)
+        again = load_instance(dump_instance(instance))
+        assert again.deadline_ms is None
+        assert again.metadata == {}
+        assert again.name == small_app.name
+
+    def test_partial_reconfiguration_flag_survives(self, small_app):
+        arch = Architecture("full_reconfig")
+        from repro.arch.processor import Processor
+
+        arch.add_resource(Processor("cpu"))
+        arch.add_resource(
+            ReconfigurableCircuit(
+                "fpga", n_clbs=500, partial_reconfiguration=False
+            )
+        )
+        instance = ProblemInstance(small_app, arch)
+        again = load_instance(dump_instance(instance))
+        rc = again.architecture.reconfigurable_circuits()[0]
+        assert rc.partial_reconfiguration is False
+
+    def test_wrong_document_kind(self, motion_app):
+        with pytest.raises(ConfigurationError):
+            load_instance(dump_application(motion_app))
 
 
 class TestSolutionRoundTrip:
