@@ -5,10 +5,12 @@ The DATE'05 experiments pin the platform to one processor + one DRLC.
 The underlying method, however, "explores the types and numbers of
 programmable and dedicated computing resources in the system in order
 to minimize the global system cost while satisfying performance
-constraints".  This example turns that mode on: starting from a small
-platform, the annealer may instantiate resources from a catalog (and
-remove drained ones) while minimizing monetary cost plus a deadline
-penalty.
+constraints".  This example turns that mode on *declaratively*: the
+seed platform, the resource catalog the annealer may instantiate from,
+and the system-cost objective are all data inside one
+:class:`~repro.api.specs.ExplorationRequest` — and because the catalog
+is declarative (not lambdas), the same spec runs under ``jobs=N``
+worker processes or from a ``repro explore --spec`` file.
 
 Usage::
 
@@ -17,59 +19,88 @@ Usage::
 
 import sys
 
-from repro import DesignSpaceExplorer, SystemCost, motion_detection_application
+from repro.api import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
+    StrategySpec,
+    explore,
+)
+from repro.io import architecture_to_dict
 from repro.arch.architecture import Architecture
-from repro.arch.asic import Asic
 from repro.arch.bus import Bus
 from repro.arch.processor import Processor
 from repro.arch.reconfigurable import ReconfigurableCircuit
 
-CATALOG = [
-    lambda name: Processor(name, speed_factor=1.0, monetary_cost=1.0),
-    lambda name: ReconfigurableCircuit(
-        name, n_clbs=1000, reconfig_ms_per_clb=0.0225, monetary_cost=2.0
-    ),
-    lambda name: Asic(name, monetary_cost=4.0),
-]
+#: What the annealer may instantiate (m3) — plain data, the io.py
+#: resource vocabulary.
+CATALOG = (
+    {"kind": "processor", "speed_factor": 1.0, "monetary_cost": 1.0},
+    {"kind": "reconfigurable", "n_clbs": 1000,
+     "reconfig_ms_per_clb": 0.0225, "monetary_cost": 2.0},
+    {"kind": "asic", "monetary_cost": 4.0},
+)
 
 
-def main(deadline_ms: float = 40.0) -> None:
-    application = motion_detection_application()
-    architecture = Architecture("seed_platform", bus=Bus(rate_kbytes_per_ms=50.0))
+def seed_platform() -> Architecture:
+    architecture = Architecture(
+        "seed_platform", bus=Bus(rate_kbytes_per_ms=50.0)
+    )
     architecture.add_resource(Processor("arm922", monetary_cost=1.0))
     architecture.add_resource(
         ReconfigurableCircuit(
-            "virtex", n_clbs=1000, reconfig_ms_per_clb=0.0225, monetary_cost=2.0
+            "virtex", n_clbs=1000, reconfig_ms_per_clb=0.0225,
+            monetary_cost=2.0,
         )
     )
+    return architecture
 
-    print(f"seed platform: {[r.name for r in architecture.resources()]}, "
-          f"cost {architecture.total_monetary_cost():.1f}, "
+
+def build_request(deadline_ms: float) -> ExplorationRequest:
+    return ExplorationRequest(
+        kind="single",
+        application=ApplicationSpec(kind="builtin", name="motion"),
+        architecture=ArchitectureSpec(
+            kind="inline", document=architecture_to_dict(seed_platform())
+        ),
+        strategy=StrategySpec(
+            "sa",
+            {"p_zero": 0.05},          # enables m3 / m4 draws
+            cost={"kind": "system", "deadline_ms": deadline_ms,
+                  "penalty_per_ms": 50.0},
+            catalog=CATALOG,
+        ),
+        budget=BudgetSpec(iterations=8000, warmup_iterations=1200),
+        engine=EngineSpec("full"),
+        seed=19,
+        deadline_ms=deadline_ms,
+    )
+
+
+def main(deadline_ms: float = 40.0) -> None:
+    request = build_request(deadline_ms)
+    platform = seed_platform()
+    print(f"seed platform: {[r.name for r in platform.resources()]}, "
+          f"cost {platform.total_monetary_cost():.1f}, "
           f"deadline {deadline_ms:.0f} ms")
 
-    explorer = DesignSpaceExplorer(
-        application,
-        architecture,
-        iterations=8000,
-        warmup_iterations=1200,
-        seed=19,
-        p_zero=0.05,          # enables m3 / m4 draws
-        catalog=CATALOG,
-        cost_function=SystemCost(deadline_ms=deadline_ms, penalty_per_ms=50.0),
-    )
-    result = explorer.run()
+    response = explore(request)
+    result = response.best_result
 
     final_arch = result.best_solution.architecture
-    ev = result.best_evaluation
+    ev = response.best["evaluation"]
     print(f"\nexplored for {result.runtime_s:.1f} s "
-          f"({result.annealing.iterations_run} iterations)")
+          f"({result.iterations_run} iterations)")
     print(f"final platform: "
           f"{[f'{type(r).__name__}:{r.name}' for r in final_arch.resources()]}")
     print(f"  monetary cost: {final_arch.total_monetary_cost():.1f}")
-    print(f"  execution:     {ev.makespan_ms:.2f} ms "
-          f"({'meets' if ev.makespan_ms <= deadline_ms else 'misses'} deadline)")
-    print(f"  hw/sw split:   {ev.hw_tasks}/{ev.sw_tasks}, "
-          f"{ev.num_contexts} contexts")
+    print(f"  execution:     {ev['makespan_ms']:.2f} ms "
+          f"({'meets' if ev['makespan_ms'] <= deadline_ms else 'misses'} "
+          f"deadline)")
+    print(f"  hw/sw split:   {ev['hw_tasks']}/{ev['sw_tasks']}, "
+          f"{ev['num_contexts']} contexts")
 
 
 if __name__ == "__main__":

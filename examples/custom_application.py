@@ -2,9 +2,12 @@
 """Bring your own application: a software-defined-radio (SDR) pipeline.
 
 Shows the full modelling API: tasks with synthesized Pareto
-implementation sets, data-volume edges, a custom platform, exploration,
-and interpretation of the result.  The pipeline is a classic SDR
-receive chain with two parallel demodulation branches:
+implementation sets, data-volume edges, a custom platform — then turns
+both into *documents* and explores them through the declarative public
+API (:mod:`repro.api`): the application and architecture ride inline in
+an :class:`~repro.api.specs.ExplorationRequest`, so the whole workload
+is one JSON file away from `repro explore --spec`.  The pipeline is a
+classic SDR receive chain with two parallel demodulation branches:
 
     acquire -> ddc -+-> fir_i -> demod_fm --+-> deframe -> crc -> sink
                     +-> fir_q -> demod_am --+
@@ -18,13 +21,21 @@ from repro import (
     Application,
     Architecture,
     Bus,
-    DesignSpaceExplorer,
     Processor,
     ReconfigurableCircuit,
     Task,
     extract_schedule,
     render_gantt,
 )
+from repro.api import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    ExplorationRequest,
+    explore,
+)
+from repro.io import application_to_dict, architecture_to_dict
+from repro.mapping.evaluator import Evaluator
 from repro.model.functions import FunctionalitySpec, synthesize_implementations
 
 
@@ -82,36 +93,44 @@ def build_platform() -> Architecture:
 
 def main() -> None:
     application = build_application()
-    architecture = build_platform()
 
     print(f"{application.name}: {len(application)} tasks, "
           f"all-software {application.total_sw_time_ms():.1f} ms")
 
-    explorer = DesignSpaceExplorer(
-        application, architecture,
-        iterations=4000, warmup_iterations=600, seed=3,
+    request = ExplorationRequest(
+        kind="single",
+        application=ApplicationSpec(
+            kind="inline", document=application_to_dict(application)
+        ),
+        architecture=ArchitectureSpec(
+            kind="inline", document=architecture_to_dict(build_platform())
+        ),
+        budget=BudgetSpec(iterations=4000, warmup_iterations=600),
+        seed=3,
     )
-    result = explorer.run()
-    ev = result.best_evaluation
+    response = explore(request)
+    result = response.best_result
+    solution = result.best_solution
+    ev = response.best["evaluation"]
 
-    print(f"\nbest mapping: {ev.makespan_ms:.2f} ms "
-          f"(speedup {application.total_sw_time_ms() / ev.makespan_ms:.1f}x "
+    print(f"\nbest mapping: {ev['makespan_ms']:.2f} ms "
+          f"(speedup "
+          f"{application.total_sw_time_ms() / ev['makespan_ms']:.1f}x "
           f"over all-software)")
-    print(f"  {ev.hw_tasks} hardware tasks in {ev.num_contexts} context(s), "
-          f"{ev.clbs_used} CLBs")
-    for task in application.tasks():
-        where = result.best_solution.context_of(task.index)
+    print(f"  {ev['hw_tasks']} hardware tasks in {ev['num_contexts']} "
+          f"context(s), {ev['clbs_used']} CLBs")
+    for task in solution.application.tasks():
+        where = solution.context_of(task.index)
         place = f"fabric/ctx{where[1]}" if where else "cortex_m"
         impl = ""
         if where:
-            choice = result.best_solution.implementation_choice(task.index)
+            choice = solution.implementation_choice(task.index)
             chosen = task.implementation(choice)
             impl = f"  [{chosen.clbs} CLBs, {chosen.time_ms:.2f} ms]"
         print(f"  {task.name:<10} -> {place}{impl}")
 
-    schedule = extract_schedule(
-        result.best_solution, explorer.evaluator.realize(result.best_solution)
-    )
+    evaluator = Evaluator(solution.application, solution.architecture)
+    schedule = extract_schedule(solution, evaluator.realize(solution))
     print("\n" + render_gantt(schedule, width=70))
 
 

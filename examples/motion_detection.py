@@ -6,6 +6,11 @@
 2. Fig. 3 (abridged): a device-size sweep on a few FPGA capacities.
 3. The section-5 comparison against the GA baseline of [6].
 
+All three experiments are thin spec builders since the ``repro.api``
+redesign: each assembles declarative
+:class:`~repro.api.specs.ExplorationRequest` documents and runs them
+through :func:`repro.api.explore`.
+
 Usage::
 
     python examples/motion_detection.py [--fast]

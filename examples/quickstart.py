@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: map the paper's benchmark onto the paper's platform.
 
-Runs the adaptive-annealing explorer on the 28-task motion-detection
-application (ARM922 + 2000-CLB Virtex-E-class device), prints the best
+Builds a declarative :class:`~repro.api.specs.ExplorationRequest` (the
+same document ``repro explore --spec`` runs and ``--dump-spec`` emits),
+executes it through :func:`repro.api.explore`, and prints the best
 mapping, its cost decomposition, and an ASCII Gantt chart.
 
 Usage::
@@ -12,49 +13,59 @@ Usage::
 
 import sys
 
-from repro import (
-    DesignSpaceExplorer,
-    epicure_architecture,
-    extract_schedule,
-    motion_detection_application,
-    render_gantt,
+from repro import extract_schedule, render_gantt
+from repro.api import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    ExplorationRequest,
+    explore,
 )
-from repro.model.motion import MOTION_DEADLINE_MS
+from repro.mapping.evaluator import Evaluator
+
+
+def build_request(seed: int = 7) -> ExplorationRequest:
+    return ExplorationRequest(
+        kind="single",
+        application=ApplicationSpec(kind="builtin", name="motion"),
+        architecture=ArchitectureSpec(kind="builtin", n_clbs=2000),
+        budget=BudgetSpec(iterations=8000, warmup_iterations=1200),
+        seed=seed,
+    )
 
 
 def main(seed: int = 7) -> None:
-    application = motion_detection_application()
-    architecture = epicure_architecture(n_clbs=2000)
+    request = build_request(seed)
+    response = explore(request)
 
+    deadline = response.summary["deadline_ms"]
+    result = response.best_result
+    application = result.best_solution.application
     print(f"application: {application.name}, {len(application)} tasks, "
           f"all-software time {application.total_sw_time_ms():.1f} ms "
-          f"(constraint: {MOTION_DEADLINE_MS:.0f} ms)")
+          f"(constraint: {deadline:.0f} ms)")
 
-    explorer = DesignSpaceExplorer(
-        application,
-        architecture,
-        iterations=8000,
-        warmup_iterations=1200,
-        seed=seed,
-    )
-    result = explorer.run()
-
-    ev = result.best_evaluation
-    print(f"\nbest mapping after {result.annealing.iterations_run} iterations "
+    ev = response.best["evaluation"]
+    print(f"\nbest mapping after {result.iterations_run} iterations "
           f"({result.runtime_s:.1f} s):")
-    print(f"  execution time:      {ev.makespan_ms:.2f} ms "
-          f"({'meets' if ev.meets(MOTION_DEADLINE_MS) else 'MISSES'} the constraint)")
-    print(f"  contexts:            {ev.num_contexts}")
-    print(f"  hw/sw split:         {ev.hw_tasks} hardware / {ev.sw_tasks} software")
-    print(f"  reconfiguration:     {ev.initial_reconfig_ms:.2f} ms initial + "
-          f"{ev.dynamic_reconfig_ms:.2f} ms dynamic")
-    print(f"  bus transfers:       {ev.comm_ms:.2f} ms total")
-    print(f"  CLBs configured:     {ev.clbs_used}")
+    print(f"  execution time:      {ev['makespan_ms']:.2f} ms "
+          f"({'meets' if response.summary['deadline_met'] else 'MISSES'} "
+          f"the constraint)")
+    print(f"  contexts:            {ev['num_contexts']}")
+    print(f"  hw/sw split:         {ev['hw_tasks']} hardware / "
+          f"{ev['sw_tasks']} software")
+    print(f"  reconfiguration:     {ev['initial_reconfig_ms']:.2f} ms initial + "
+          f"{ev['dynamic_reconfig_ms']:.2f} ms dynamic")
+    print(f"  bus transfers:       {ev['comm_ms']:.2f} ms total")
+    print(f"  CLBs configured:     {ev['clbs_used']}")
 
-    schedule = extract_schedule(
-        result.best_solution, explorer.evaluator.realize(result.best_solution)
-    )
+    solution = result.best_solution
+    evaluator = Evaluator(solution.application, solution.architecture)
+    schedule = extract_schedule(solution, evaluator.realize(solution))
     print("\n" + render_gantt(schedule, width=78))
+
+    print("\nthe same run as data (save it, ship it, `repro explore --spec` it):")
+    print(request.to_json())
 
 
 if __name__ == "__main__":

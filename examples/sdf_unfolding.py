@@ -5,7 +5,10 @@ The paper's conclusion announces support for further models of
 computation, "including SDF".  This example models a multi-rate audio
 effects chain as synchronous dataflow, checks consistency and liveness,
 computes the repetition vector, unfolds one iteration into a precedence
-graph, and maps it with the unchanged explorer.
+graph, and maps it through the declarative public API — the unfolded
+application rides inline in an
+:class:`~repro.api.specs.ExplorationRequest` executed by
+:func:`repro.api.explore`.
 
     mic --1:1--> agc --2:3--> eq --1:1--> reverb --3:2--> mix
 
@@ -17,13 +20,20 @@ Usage::
 from repro import (
     Architecture,
     Bus,
-    DesignSpaceExplorer,
     Processor,
     ReconfigurableCircuit,
     SdfActor,
     SdfChannel,
     SdfGraph,
 )
+from repro.api import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    ExplorationRequest,
+    explore,
+)
+from repro.io import application_to_dict, architecture_to_dict
 from repro.model.functions import FunctionalitySpec, synthesize_implementations
 
 
@@ -66,9 +76,19 @@ def main() -> None:
     arch.add_resource(Processor("dsp"))
     arch.add_resource(ReconfigurableCircuit("fabric", n_clbs=400,
                                             reconfig_ms_per_clb=0.02))
-    explorer = DesignSpaceExplorer(app, arch, iterations=4000,
-                                   warmup_iterations=600, seed=2)
-    result = explorer.run()
+    request = ExplorationRequest(
+        kind="single",
+        application=ApplicationSpec(
+            kind="inline", document=application_to_dict(app)
+        ),
+        architecture=ArchitectureSpec(
+            kind="inline", document=architecture_to_dict(arch)
+        ),
+        budget=BudgetSpec(iterations=4000, warmup_iterations=600),
+        seed=2,
+    )
+    response = explore(request)
+    result = response.best_result
     ev = result.best_evaluation
 
     print(f"\nmapped iteration period: {ev.makespan_ms:.2f} ms "

@@ -8,7 +8,22 @@ partitioning, temporal partitioning into FPGA contexts, software
 scheduling and bus transaction ordering, evaluated by the longest path
 of a sequentialization-edge-augmented search graph.
 
-Quickstart::
+Quickstart — the declarative public API (``repro.api``): describe the
+workload as data, run it through the one façade::
+
+    from repro.api import BudgetSpec, ExplorationRequest, explore
+
+    request = ExplorationRequest(          # defaults: the paper's
+        kind="single",                     # motion benchmark on a
+        budget=BudgetSpec(iterations=5000),  # 2000-CLB EPICURE device
+        seed=1,
+    )
+    response = explore(request)
+    print(response.best["evaluation"]["makespan_ms"])
+    open("run.json", "w").write(request.to_json())  # reproduce via
+    # `python -m repro explore --spec run.json` — same seed, same result
+
+The imperative objects remain available for programmatic use::
 
     from repro import (
         motion_detection_application, epicure_architecture,
@@ -95,8 +110,19 @@ from repro.search import (
     run_portfolio,
     run_search_jobs,
 )
+from repro import api
+from repro.api import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
+    ExplorationResponse,
+    explore,
+    load_request,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # errors
@@ -127,5 +153,11 @@ __all__ = [
     "SearchStrategy", "SearchBudget", "SearchResult",
     "StrategySpec", "InstanceSpec", "SearchJob",
     "run_search_jobs", "run_portfolio", "derive_seeds",
+    # declarative public API (note: repro.api.StrategySpec is the
+    # spec-layer strategy document; repro.StrategySpec stays the
+    # runner-level job spec)
+    "api", "ApplicationSpec", "ArchitectureSpec", "BudgetSpec",
+    "EngineSpec", "ExplorationRequest", "ExplorationResponse",
+    "explore", "load_request",
     "__version__",
 ]

@@ -5,30 +5,25 @@ seeds and average execution time, initial/dynamic reconfiguration time
 and number of contexts — exactly the three curves of Fig. 3 (the paper
 averages 100 runs per size).
 
-The per-run work is submitted through the parallel runner
-(:mod:`repro.search.runner`): ``jobs=N`` fans the ``sizes × runs`` grid
-across N worker processes, and ``checkpoint_path`` makes a long sweep
+Since the ``repro.api`` redesign this module is a thin spec builder: it
+assembles a sweep-shaped :class:`~repro.api.specs.ExplorationRequest`
+and executes it through :func:`repro.api.facade.explore` (the one
+resolution pipeline).  ``jobs=N`` fans the ``sizes × runs`` grid across
+N worker processes, and ``checkpoint_path`` makes a long sweep
 resumable.  Rows are bit-identical for any ``jobs`` because every run
 is independently seeded and the aggregation order is fixed.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import summarize
-from repro.arch.architecture import epicure_architecture
 from repro.errors import ConfigurationError
 from repro.model.application import Application
 from repro.sa.explorer import DesignSpaceExplorer
-from repro.search.runner import (
-    InstanceSpec,
-    SearchJob,
-    StrategySpec,
-    best_evaluation_of,
-    run_search_jobs,
-)
 
 
 @dataclass(frozen=True)
@@ -91,6 +86,14 @@ def run_device_sweep(
     if runs < 1:
         raise ConfigurationError("runs must be >= 1")
     if explorer_factory is not None:
+        warnings.warn(
+            "explorer_factory is deprecated: ad-hoc constructor wiring "
+            "cannot cross a process boundary or serialize; express the "
+            "optimizer as an ExplorationRequest strategy/budget spec "
+            "(repro.api) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if jobs != 1 or checkpoint_path is not None:
             raise ConfigurationError(
                 "explorer_factory is a sequential legacy hook: parallel "
@@ -105,30 +108,33 @@ def run_device_sweep(
         }
         return _aggregate_rows(sizes, runs, evaluations, deadline_ms)
 
-    spec = StrategySpec("sa", {
-        "iterations": iterations,
-        "warmup_iterations": warmup_iterations,
-        "keep_trace": False,
-        "engine": engine,
-    })
-    job_list = [
-        SearchJob(
-            spec,
-            InstanceSpec(application, n_clbs=n_clbs),
-            seed=seed0 + 1000 * r + n_clbs,
-            tag=[n_clbs, r],
-        )
-        for n_clbs in sizes
-        for r in range(runs)
-    ]
-    outcomes = run_search_jobs(
-        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+    from repro.api.facade import explore
+    from repro.api.specs import (
+        ApplicationSpec,
+        BudgetSpec,
+        EngineSpec,
+        ExplorationRequest,
+        StrategySpec,
     )
-    evaluations = {
-        (outcome.tag[0], outcome.tag[1]): best_evaluation_of(outcome.result)
-        for outcome in outcomes
-    }
-    return _aggregate_rows(sizes, runs, evaluations, deadline_ms)
+    from repro.io import application_to_dict
+
+    request = ExplorationRequest(
+        kind="sweep",
+        application=ApplicationSpec(
+            kind="inline", document=application_to_dict(application)
+        ),
+        strategy=StrategySpec("sa", {"keep_trace": False}),
+        budget=BudgetSpec(
+            iterations=iterations, warmup_iterations=warmup_iterations
+        ),
+        engine=EngineSpec(engine),
+        seed=seed0,
+        runs=runs,
+        sizes=tuple(sizes),
+        deadline_ms=deadline_ms,
+    )
+    response = explore(request, jobs=jobs, checkpoint_path=checkpoint_path)
+    return list(response.rows)
 
 
 def _aggregate_rows(

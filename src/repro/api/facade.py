@@ -1,0 +1,403 @@
+"""``explore(request) -> ExplorationResponse`` — the public front door.
+
+One call executes any :class:`~repro.api.specs.ExplorationRequest`
+(single run, multi-seed batch, portfolio race, sweep grid) through the
+unified search runner and returns a serializable result envelope: best
+solution mapping, evaluation breakdown, best-so-far history, per-seed
+stats, and an environment stamp.  ``jobs=N`` fans independent runs
+across worker processes; results are bit-identical to ``jobs=1`` for
+the same request (every run is seeded and isolated by the runner).
+
+The in-memory response additionally carries the live objects clients
+built on before this API existed — the raw
+:class:`~repro.search.runner.JobOutcome` list, the sweep's
+:class:`~repro.analysis.sweep.DeviceSweepRow` rows, the portfolio's
+:class:`~repro.search.portfolio.PortfolioEntry` entries — so the
+experiment modules could become thin spec builders without changing
+their own return types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api.resolve import ResolvedRequest, resolve_request
+from repro.api.specs import SCHEMA_VERSION, ExplorationRequest
+from repro.errors import ConfigurationError
+from repro.mapping.evaluator import Evaluation
+from repro.search.runner import (
+    InstanceSpec,
+    JobOutcome,
+    SearchJob,
+    best_evaluation_of,
+    run_search_jobs,
+)
+
+RESPONSE_FORMAT = "exploration-response"
+
+
+def environment_stamp() -> Dict[str, Any]:
+    """Where a response was computed (stamped into every envelope)."""
+    from repro import __version__
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def evaluation_to_dict(evaluation: Evaluation) -> Dict[str, Any]:
+    """The full cost breakdown of one evaluated solution."""
+    return {
+        "makespan_ms": evaluation.makespan_ms,
+        "feasible": evaluation.feasible,
+        "num_contexts": evaluation.num_contexts,
+        "hw_tasks": evaluation.hw_tasks,
+        "sw_tasks": evaluation.sw_tasks,
+        "initial_reconfig_ms": evaluation.initial_reconfig_ms,
+        "dynamic_reconfig_ms": evaluation.dynamic_reconfig_ms,
+        "comm_ms": evaluation.comm_ms,
+        "clbs_used": evaluation.clbs_used,
+    }
+
+
+# ----------------------------------------------------------------------
+# the response envelope
+# ----------------------------------------------------------------------
+@dataclass
+class ExplorationResponse:
+    """Serializable result envelope for any request kind.
+
+    ``results`` holds one record per run (seed, best cost, iteration and
+    evaluation counts, runtime, evaluation breakdown, best-so-far
+    ``history`` when the strategy kept one); ``best`` points at the
+    winning run and carries its solution document; ``summary`` is the
+    kind-specific aggregate (batch statistics, sweep rows, portfolio
+    scoreboard).  ``outcomes`` / ``rows`` / ``entries`` are the live
+    in-process objects (never serialized).
+    """
+
+    kind: str
+    request: Dict[str, Any]
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    best: Optional[Dict[str, Any]] = None
+    summary: Dict[str, Any] = field(default_factory=dict)
+    environment: Dict[str, Any] = field(default_factory=environment_stamp)
+    jobs: int = 1
+    schema_version: int = SCHEMA_VERSION
+    #: Live objects, in-process only (excluded from the JSON envelope).
+    outcomes: List[JobOutcome] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    rows: List[Any] = field(default_factory=list, repr=False, compare=False)
+    entries: List[Any] = field(default_factory=list, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": RESPONSE_FORMAT,
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "environment": dict(self.environment),
+            "jobs": self.jobs,
+            "request": self.request,
+            "results": self.results,
+            "best": self.best,
+            "summary": self.summary,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExplorationResponse":
+        if data.get("format") != RESPONSE_FORMAT:
+            raise ConfigurationError(
+                f"expected a {RESPONSE_FORMAT!r} document, "
+                f"got {data.get('format')!r}"
+            )
+        version = data.get("schema_version")
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported response schema_version {version!r} "
+                f"(this library understands <= {SCHEMA_VERSION})"
+            )
+        return cls(
+            kind=data["kind"],
+            request=data.get("request", {}),
+            results=list(data.get("results", [])),
+            best=data.get("best"),
+            summary=dict(data.get("summary", {})),
+            environment=dict(data.get("environment", {})),
+            jobs=data.get("jobs", 1),
+            schema_version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExplorationResponse":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"response is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+    # -- convenience views ---------------------------------------------
+    @property
+    def best_outcome(self) -> Optional[JobOutcome]:
+        """The winning run's live outcome (in-process responses only)."""
+        if self.best is None or not self.outcomes:
+            return None
+        return self.outcomes[self.best["index"]]
+
+    @property
+    def best_result(self):
+        outcome = self.best_outcome
+        return None if outcome is None else outcome.result
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _result_record(outcome: JobOutcome, evaluation: Evaluation) -> Dict[str, Any]:
+    result = outcome.result
+    return {
+        "tag": outcome.tag,
+        "seed": outcome.seed,
+        "strategy": result.strategy,
+        "best_cost": result.best_cost,
+        "final_cost": result.final_cost,
+        "iterations_run": result.iterations_run,
+        "runtime_s": result.runtime_s,
+        "evaluations": result.evaluations,
+        "from_checkpoint": outcome.from_checkpoint,
+        "evaluation": evaluation_to_dict(evaluation),
+        "history": list(result.history),
+    }
+
+
+def _best_record(
+    outcomes: List[JobOutcome], evaluations: List[Evaluation]
+) -> Dict[str, Any]:
+    from repro.io import solution_to_dict
+
+    index = min(
+        range(len(outcomes)), key=lambda i: outcomes[i].result.best_cost
+    )
+    outcome = outcomes[index]
+    return {
+        "index": index,
+        "tag": outcome.tag,
+        "seed": outcome.seed,
+        "cost": outcome.result.best_cost,
+        "evaluation": evaluation_to_dict(evaluations[index]),
+        "solution": solution_to_dict(outcome.result.best_solution),
+    }
+
+
+def _run_jobs_response(
+    request: ExplorationRequest,
+    job_list: List[SearchJob],
+    jobs: int,
+    checkpoint_path: Optional[str],
+):
+    outcomes = run_search_jobs(
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+    )
+    evaluations = [best_evaluation_of(o.result) for o in outcomes]
+    return ExplorationResponse(
+        kind=request.kind,
+        request=request.to_dict(),
+        results=[
+            _result_record(o, ev) for o, ev in zip(outcomes, evaluations)
+        ],
+        best=_best_record(outcomes, evaluations),
+        jobs=jobs,
+        outcomes=list(outcomes),
+    ), evaluations
+
+
+def explore(
+    request: ExplorationRequest,
+    jobs: int = 1,
+    checkpoint_path: Optional[str] = None,
+) -> ExplorationResponse:
+    """Execute ``request`` and return the result envelope.
+
+    ``jobs=N`` runs independent searches across N worker processes
+    (bit-identical to ``jobs=1``); ``checkpoint_path`` (JSONL) makes
+    batch-shaped requests resumable through the runner's checkpoint
+    machinery.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    resolved = resolve_request(request)
+    if resolved.kind == "portfolio":
+        return _explore_portfolio(request, resolved, jobs, checkpoint_path)
+    if resolved.kind == "sweep":
+        return _explore_sweep(request, resolved, jobs, checkpoint_path)
+
+    instance = InstanceSpec(
+        resolved.application, architecture=resolved.architecture
+    )
+    job_list = [
+        SearchJob(
+            resolved.strategy,
+            instance,
+            seed=seed,
+            tag=position,
+            budget=resolved.budget,
+        )
+        for position, seed in enumerate(resolved.seeds)
+    ]
+    response, _ = _run_jobs_response(request, job_list, jobs, checkpoint_path)
+    if resolved.kind == "batch":
+        from repro.analysis.stats import summarize
+
+        costs = [o.result.best_cost for o in response.outcomes]
+        summary = summarize(costs)
+        response.summary = {
+            "runs": len(costs),
+            "best_cost_mean": summary.mean,
+            "best_cost_std": summary.std,
+            "best_cost_min": summary.minimum,
+            "best_cost_max": summary.maximum,
+        }
+    if resolved.deadline_ms is not None:
+        # Compare the makespan, not best_cost: under a SystemCost the
+        # cost is money + penalty and would invert this verdict.
+        response.summary["deadline_ms"] = resolved.deadline_ms
+        response.summary["deadline_met"] = (
+            response.best["evaluation"]["feasible"]
+            and response.best["evaluation"]["makespan_ms"]
+            <= resolved.deadline_ms
+        )
+    return response
+
+
+def _explore_portfolio(
+    request: ExplorationRequest,
+    resolved: ResolvedRequest,
+    jobs: int,
+    checkpoint_path: Optional[str],
+) -> ExplorationResponse:
+    from repro.io import solution_to_dict
+    from repro.search.portfolio import PORTFOLIO_KINDS, run_portfolio
+
+    entries = run_portfolio(
+        resolved.application,
+        architecture=resolved.architecture,
+        iterations=(
+            resolved.iterations if resolved.iterations is not None else 8000
+        ),
+        seed=request.seed,
+        engine=resolved.engine,
+        jobs=jobs,
+        kinds=resolved.portfolio_kinds or PORTFOLIO_KINDS,
+        checkpoint_path=checkpoint_path,
+        warmup_iterations=resolved.warmup_iterations,
+    )
+    results = []
+    for entry in entries:
+        record = {
+            "tag": entry.kind,
+            "seed": entry.seed,
+            "strategy": entry.result.strategy,
+            "best_cost": entry.result.best_cost,
+            "final_cost": entry.result.final_cost,
+            "iterations_run": entry.result.iterations_run,
+            "runtime_s": entry.result.runtime_s,
+            "evaluations": entry.result.evaluations,
+            "from_checkpoint": False,
+            "evaluation": evaluation_to_dict(entry.evaluation),
+            "history": list(entry.result.history),
+        }
+        results.append(record)
+    winner = entries[0]
+    best = {
+        "index": 0,
+        "tag": winner.kind,
+        "seed": winner.seed,
+        "cost": winner.best_cost,
+        "evaluation": evaluation_to_dict(winner.evaluation),
+        "solution": solution_to_dict(winner.result.best_solution),
+    }
+    summary: Dict[str, Any] = {
+        "winner": winner.kind,
+        "ranking": [entry.kind for entry in entries],
+    }
+    if resolved.deadline_ms is not None:
+        summary["deadline_ms"] = resolved.deadline_ms
+        summary["deadline_met"] = winner.evaluation.meets(resolved.deadline_ms)
+    return ExplorationResponse(
+        kind=request.kind,
+        request=request.to_dict(),
+        results=results,
+        best=best,
+        summary=summary,
+        jobs=jobs,
+        entries=list(entries),
+    )
+
+
+def _explore_sweep(
+    request: ExplorationRequest,
+    resolved: ResolvedRequest,
+    jobs: int,
+    checkpoint_path: Optional[str],
+) -> ExplorationResponse:
+    # Late imports: analysis.sweep routes back through this façade.
+    from repro.analysis.sweep import _aggregate_rows, smallest_feasible_device
+    from repro.api.resolve import sweep_seed
+
+    job_list = [
+        SearchJob(
+            resolved.strategy,
+            InstanceSpec(resolved.application, n_clbs=n_clbs),
+            seed=sweep_seed(request.seed, n_clbs, r),
+            tag=[n_clbs, r],
+            budget=resolved.budget,
+        )
+        for n_clbs in resolved.sizes
+        for r in range(request.runs)
+    ]
+    response, evaluations = _run_jobs_response(
+        request, job_list, jobs, checkpoint_path
+    )
+    by_cell = {
+        (outcome.tag[0], outcome.tag[1]): evaluation
+        for outcome, evaluation in zip(response.outcomes, evaluations)
+    }
+    deadline = resolved.deadline_ms if resolved.deadline_ms is not None else 40.0
+    rows = _aggregate_rows(resolved.sizes, request.runs, by_cell, deadline)
+    response.rows = rows
+    response.summary = {
+        "sizes": list(resolved.sizes),
+        "runs": request.runs,
+        "deadline_ms": deadline,
+        "smallest_feasible_n_clbs": smallest_feasible_device(rows, deadline),
+        "rows": [
+            {
+                "n_clbs": row.n_clbs,
+                "runs": row.runs,
+                "execution_ms": row.execution_ms,
+                "execution_std_ms": row.execution_std_ms,
+                "initial_reconfig_ms": row.initial_reconfig_ms,
+                "dynamic_reconfig_ms": row.dynamic_reconfig_ms,
+                "num_contexts": row.num_contexts,
+                "hw_tasks": row.hw_tasks,
+                "feasible_fraction": row.feasible_fraction,
+            }
+            for row in rows
+        ],
+    }
+    return response

@@ -160,6 +160,26 @@ class Comparison:
     def ok(self) -> bool:
         return not self.regressions and not self.scenario_drift
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for ``repro bench compare --json``."""
+        return {
+            "ok": self.ok,
+            "threshold": self.threshold,
+            "deltas": [
+                {
+                    "name": d.name,
+                    "old_median_s": d.old_median_s,
+                    "new_median_s": d.new_median_s,
+                    "ratio": d.ratio,
+                    "status": d.status,
+                }
+                for d in self.deltas
+            ],
+            "scenario_drift": list(self.scenario_drift),
+            "missing_cases": list(self.missing_cases),
+            "new_cases": list(self.new_cases),
+        }
+
 
 def compare(
     old: Dict[str, Any],

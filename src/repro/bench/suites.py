@@ -5,8 +5,12 @@ Three layers of cases:
 * **Corpus throughput** — every corpus scenario × both evaluation
   engines through the annealer-shaped move/evaluate/undo loop; the
   machine-readable evals/sec trajectory that perf PRs are gated on.
-* **Multi-seed search** — adaptive-SA replicate batches executed
-  through :func:`repro.search.runner.run_search_jobs` (``jobs=N``).
+* **Multi-seed search** — adaptive-SA replicate batches expressed as
+  batch :class:`~repro.api.specs.ExplorationRequest` specs (the
+  scenario's bundled document is the application) and executed through
+  :func:`repro.api.facade.explore` (``jobs=N``); cases whose per-job
+  architectures vary (the reconfiguration ablation) stay on the raw
+  runner underneath the façade.
 * **Ported experiment scripts** — the measurement bodies of the 14
   historical ``benchmarks/bench_*.py`` scripts; the scripts are now
   thin shims that call these cases and assert on the returned metrics.
@@ -30,6 +34,13 @@ from repro.analysis.combinatorics import (
 from repro.analysis.plot import plot_sweep, plot_trace
 from repro.analysis.stats import Summary
 from repro.analysis.sweep import run_device_sweep
+from repro.api.facade import explore
+from repro.api.specs import (
+    ApplicationSpec,
+    BudgetSpec,
+    ExplorationRequest,
+)
+from repro.api.specs import StrategySpec as ApiStrategySpec
 from repro.arch.architecture import Architecture
 from repro.arch.asic import Asic
 from repro.arch.bus import Bus
@@ -123,7 +134,7 @@ _register_throughput_cases()
 
 
 # ----------------------------------------------------------------------
-# multi-seed search through the parallel runner (quick + full)
+# multi-seed search through the spec façade (quick + full)
 # ----------------------------------------------------------------------
 def _register_search_cases() -> None:
     for scenario_name in ("motion/2000", "tgff/36"):
@@ -131,42 +142,36 @@ def _register_search_cases() -> None:
         def setup(
             context: BenchContext, _name: str = scenario_name
         ) -> Any:
-            return get_scenario(_name).build()
+            # Scenario materialization is spec-shaped: the bundled
+            # instance document doubles as the request's application.
+            return get_scenario(_name).document()
 
         def fn(
             context: BenchContext,
             state: Any,
             _name: str = scenario_name,
         ) -> Dict[str, Any]:
-            instance = state
-            spec = StrategySpec("sa", {
-                "iterations": context.iterations,
-                "warmup_iterations": _scaled_warmup(context.iterations),
-                "keep_trace": False,
-                "engine": "incremental",
-            })
-            job_list = [
-                SearchJob(
-                    spec,
-                    InstanceSpec(
-                        instance.application,
-                        architecture=instance.architecture,
-                    ),
-                    seed=context.seed + r,
-                    tag=r,
-                )
-                for r in range(context.runs)
-            ]
-            outcomes = run_search_jobs(job_list, jobs=context.jobs)
-            costs = [outcome.result.best_cost for outcome in outcomes]
+            request = ExplorationRequest(
+                kind="batch",
+                application=ApplicationSpec(kind="bundled", document=state),
+                strategy=ApiStrategySpec("sa", {"keep_trace": False}),
+                budget=BudgetSpec(
+                    iterations=context.iterations,
+                    warmup_iterations=_scaled_warmup(context.iterations),
+                ),
+                seeds=tuple(
+                    context.seed + r for r in range(context.runs)
+                ),
+            )
+            response = explore(request, jobs=context.jobs)
             return {
                 "evaluations": sum(
-                    outcome.result.evaluations for outcome in outcomes
+                    r["evaluations"] for r in response.results
                 ),
                 "runs": context.runs,
-                "best_cost_min": min(costs),
-                "best_cost_mean": sum(costs) / len(costs),
-                "deadline_ms": instance.deadline_ms,
+                "best_cost_min": response.summary["best_cost_min"],
+                "best_cost_mean": response.summary["best_cost_mean"],
+                "deadline_ms": state["deadline_ms"],
             }
 
         bench_case(
@@ -294,8 +299,7 @@ def _fig2(context: BenchContext, state: Any) -> Dict[str, Any]:
             f"{record.num_contexts:>9}"
         )
     return {
-        "initial_makespan_ms":
-            result.exploration.initial_evaluation.makespan_ms,
+        "initial_makespan_ms": result.initial_evaluation.makespan_ms,
         "final_makespan_ms": ev.makespan_ms,
         "num_contexts": ev.num_contexts,
         "hw_tasks": ev.hw_tasks,
@@ -303,7 +307,7 @@ def _fig2(context: BenchContext, state: Any) -> Dict[str, Any]:
         "warmup_hi": hi,
         "iterations_to_deadline": result.iterations_to_deadline(),
         "deadline_ms": result.deadline_ms,
-        "evaluations": result.exploration.annealing.iterations_run,
+        "evaluations": result.iterations_run,
         "report": "\n".join(
             [result.format_summary(), "", plot_trace(result.trace), ""]
             + table

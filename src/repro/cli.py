@@ -2,8 +2,8 @@
 
 Commands
 --------
-``explore``    run the annealing explorer on an application/architecture
-               (built-in benchmark by default, or JSON files)
+``explore``    run an exploration request (annealer by default, or any
+               spec file via ``--spec``)
 ``sweep``      Fig. 3-style device-size sweep (``--jobs N`` parallel)
 ``compare``    adaptive SA vs the GA baseline (``--jobs N`` parallel)
 ``portfolio``  race all search strategies on one instance
@@ -13,118 +13,243 @@ Commands
                shows cases + scenarios, ``bench compare`` is the
                regression gate (non-zero exit on slowdown/drift)
 
-Every command accepts ``--seed`` for reproducibility and prints plain
-text; machine-readable output goes through ``--save`` (JSON).  Batch
-commands accept ``--jobs N`` (worker processes; results are
-bit-identical to ``--jobs 1``) and ``sweep`` additionally
-``--checkpoint PATH`` to resume interrupted runs.
+The exploration commands are thin spec builders over the declarative
+public API (:mod:`repro.api`): flags assemble an
+:class:`~repro.api.specs.ExplorationRequest`, ``--spec FILE`` loads one
+instead, ``--dump-spec [PATH]`` writes the assembled request without
+running it, and every run goes through
+:func:`repro.api.facade.explore`.  ``--json`` prints the serializable
+:class:`~repro.api.facade.ExplorationResponse` envelope (or the
+command's own JSON document) instead of tables.  Validation errors
+print to stderr and exit with status 2; ``bench compare`` keeps exit
+status 1 for a detected regression.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.combinatorics import solution_space_report
 from repro.analysis.plot import plot_sweep, plot_trace
-from repro.arch.architecture import epicure_architecture
+from repro.api.facade import ExplorationResponse, explore
+from repro.api.specs import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
+    StrategySpec,
+    load_request,
+)
+from repro.errors import ReproError
 from repro.experiments.comparison import run_comparison
 from repro.experiments.fig3 import format_fig3_table
-from repro.analysis.sweep import run_device_sweep
-from repro.io import (
-    dump_solution,
-    load_application,
-    load_architecture,
-)
+from repro.io import dump_solution
+from repro.mapping.evaluator import Evaluator
 from repro.mapping.schedule import extract_schedule
 from repro.mapping.gantt import render_gantt
-from repro.model.motion import MOTION_DEADLINE_MS, motion_detection_application
-from repro.sa.annealer import default_warmup
-from repro.sa.explorer import DesignSpaceExplorer
 from repro.sa.trace import write_csv
-from repro.search.portfolio import format_portfolio_table, run_portfolio
+from repro.search.portfolio import format_portfolio_table
 
 
-def _load_app(path: Optional[str]):
+# ----------------------------------------------------------------------
+# flag -> spec assembly
+# ----------------------------------------------------------------------
+def _application_spec(path: Optional[str]) -> ApplicationSpec:
+    """A spec for ``--application``: the builtin benchmark by default;
+    a file is read once, sniffed (plain application document vs bundled
+    instance) and embedded, so the resulting spec — and anything
+    ``--dump-spec`` writes — is self-contained."""
     if path is None:
-        return motion_detection_application()
-    with open(path) as handle:
-        return load_application(handle.read())
+        return ApplicationSpec(kind="builtin", name="motion")
+    from repro.api.resolve import load_json_document
+
+    document = load_json_document(path, "application")
+    kind = "bundled" if document.get("format") == "instance" else "inline"
+    return ApplicationSpec(kind=kind, document=document)
 
 
-def _load_arch(path: Optional[str], n_clbs: int):
+def _architecture_spec(
+    path: Optional[str], n_clbs: int
+) -> Optional[ArchitectureSpec]:
     if path is None:
-        return epicure_architecture(n_clbs=n_clbs)
-    with open(path) as handle:
-        return load_architecture(handle.read())
+        return ArchitectureSpec(kind="builtin", n_clbs=n_clbs)
+    return ArchitectureSpec(kind="inline", path=path)
 
 
-def _warmup(args: argparse.Namespace) -> int:
-    """Explicit ``--warmup``, else the shared budget-scaled default."""
-    if args.warmup is not None:
-        return args.warmup
-    return default_warmup(args.iterations)
-
-
-def cmd_explore(args: argparse.Namespace) -> int:
-    application = _load_app(args.application)
-    architecture = _load_arch(args.architecture, args.clbs)
-    explorer = DesignSpaceExplorer(
-        application,
-        architecture,
-        iterations=args.iterations,
-        warmup_iterations=_warmup(args),
-        seed=args.seed,
-        schedule_name=args.schedule,
-        engine=args.engine,
+def _budget_spec(args: argparse.Namespace) -> BudgetSpec:
+    """Explicit ``--warmup`` or the shared budget-scaled default
+    (applied by the resolution pipeline when warmup is left unset)."""
+    return BudgetSpec(
+        iterations=args.iterations, warmup_iterations=args.warmup
     )
-    result = explorer.run()
-    ev = result.best_evaluation
-    print(f"best mapping: {ev.makespan_ms:.2f} ms, {ev.num_contexts} contexts, "
-          f"{ev.hw_tasks} hw / {ev.sw_tasks} sw tasks "
-          f"({result.runtime_s:.1f} s)")
-    print(f"reconfiguration: {ev.initial_reconfig_ms:.2f} + "
-          f"{ev.dynamic_reconfig_ms:.2f} ms; bus: {ev.comm_ms:.2f} ms")
+
+
+def _explore_request(args: argparse.Namespace) -> ExplorationRequest:
+    keep_trace = bool(args.plot or args.trace_csv)
+    return ExplorationRequest(
+        kind="single",
+        application=_application_spec(args.application),
+        architecture=_architecture_spec(args.architecture, args.clbs),
+        strategy=StrategySpec("sa", {
+            "schedule_name": args.schedule,
+            "keep_trace": keep_trace,
+        }),
+        budget=_budget_spec(args),
+        engine=EngineSpec(args.engine),
+        seed=args.seed,
+    )
+
+
+def _sweep_request(args: argparse.Namespace) -> ExplorationRequest:
+    return ExplorationRequest(
+        kind="sweep",
+        application=_application_spec(args.application),
+        strategy=StrategySpec("sa", {"keep_trace": False}),
+        budget=_budget_spec(args),
+        engine=EngineSpec(args.engine),
+        seed=args.seed,
+        runs=args.runs,
+        sizes=tuple(int(s) for s in args.sizes.split(",")),
+    )
+
+
+def _portfolio_request(args: argparse.Namespace) -> ExplorationRequest:
+    return ExplorationRequest(
+        kind="portfolio",
+        application=_application_spec(args.application),
+        architecture=_architecture_spec(args.architecture, args.clbs),
+        budget=_budget_spec(args),
+        engine=EngineSpec(args.engine),
+        seed=args.seed,
+    )
+
+
+def _request_for(args: argparse.Namespace, builder) -> ExplorationRequest:
+    if getattr(args, "spec", None):
+        return load_request(args.spec)
+    return builder(args)
+
+
+def _dump_spec(args: argparse.Namespace, request: ExplorationRequest) -> bool:
+    """Handle ``--dump-spec``: write (or print) the request, skip the run."""
+    target = getattr(args, "dump_spec", None)
+    if target is None:
+        return False
+    text = request.to_json()
+    if target == "-":
+        print(text)
+    else:
+        with open(target, "w") as handle:
+            handle.write(text + "\n")
+        print(f"spec written to {target}", file=sys.stderr)
+    return True
+
+
+# ----------------------------------------------------------------------
+# response rendering
+# ----------------------------------------------------------------------
+def _render_single(response: ExplorationResponse) -> None:
+    record = response.results[response.best["index"]]
+    ev = response.best["evaluation"]
+    print(f"best mapping: {ev['makespan_ms']:.2f} ms, "
+          f"{ev['num_contexts']} contexts, "
+          f"{ev['hw_tasks']} hw / {ev['sw_tasks']} sw tasks "
+          f"({record['runtime_s']:.1f} s)")
+    print(f"reconfiguration: {ev['initial_reconfig_ms']:.2f} + "
+          f"{ev['dynamic_reconfig_ms']:.2f} ms; "
+          f"bus: {ev['comm_ms']:.2f} ms")
+
+
+def _render_batch(response: ExplorationResponse) -> None:
+    print(f"{'seed':>12} {'best (ms)':>10} {'iters':>8} {'time (s)':>9}")
+    for record in response.results:
+        print(f"{record['seed']:>12} {record['best_cost']:>10.2f} "
+              f"{record['iterations_run']:>8} {record['runtime_s']:>9.2f}")
+    summary = response.summary
+    print(f"batch of {summary['runs']}: "
+          f"mean {summary['best_cost_mean']:.2f} ms, "
+          f"std {summary['best_cost_std']:.2f}, "
+          f"best {summary['best_cost_min']:.2f} ms")
+
+
+def _render_sweep(response: ExplorationResponse, plot: bool = False) -> None:
+    print(format_fig3_table(response.rows))
+    if plot:
+        print()
+        print(plot_sweep(response.rows))
+
+
+def _render_portfolio(response: ExplorationResponse) -> None:
+    deadline = response.summary.get("deadline_ms")
+    print(format_portfolio_table(response.entries, deadline_ms=deadline))
+
+
+def _render_response(response: ExplorationResponse,
+                     args: argparse.Namespace) -> None:
+    if response.kind == "single":
+        _render_single(response)
+    elif response.kind == "batch":
+        _render_batch(response)
+    elif response.kind == "sweep":
+        _render_sweep(response, plot=getattr(args, "plot", False))
+    else:
+        _render_portfolio(response)
+
+
+def _emit(response: ExplorationResponse, args: argparse.Namespace) -> None:
+    if args.json:
+        print(response.to_json())
+    else:
+        _render_response(response, args)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_explore(args: argparse.Namespace) -> int:
+    request = _request_for(args, _explore_request)
+    if _dump_spec(args, request):
+        return 0
+    response = explore(request)
+    _emit(response, args)
+    if response.kind != "single":
+        return 0
+    result = response.best_result
     if args.trace_csv:
         with open(args.trace_csv, "w") as handle:
             write_csv(result.trace, handle)
-        print(f"trace saved to {args.trace_csv} "
-              f"({len(result.trace)} records)")
-    if args.plot and result.trace:
+        if not args.json:
+            print(f"trace saved to {args.trace_csv} "
+                  f"({len(result.trace)} records)")
+    if args.plot and result.trace and not args.json:
         print()
         print(plot_trace(result.trace))
-    if args.gantt:
-        schedule = extract_schedule(
-            result.best_solution, explorer.evaluator.realize(result.best_solution)
-        )
+    if args.gantt and not args.json:
+        solution = result.best_solution
+        evaluator = Evaluator(solution.application, solution.architecture)
+        schedule = extract_schedule(solution, evaluator.realize(solution))
         print()
         print(render_gantt(schedule))
     if args.save:
         with open(args.save, "w") as handle:
             handle.write(dump_solution(result.best_solution))
-        print(f"solution saved to {args.save}")
+        if not args.json:
+            print(f"solution saved to {args.save}")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    application = _load_app(args.application)
-    sizes = [int(s) for s in args.sizes.split(",")]
-    rows = run_device_sweep(
-        application,
-        sizes=sizes,
-        runs=args.runs,
-        iterations=args.iterations,
-        warmup_iterations=_warmup(args),
-        seed0=args.seed if args.seed is not None else 1,
-        engine=args.engine,
-        jobs=args.jobs,
-        checkpoint_path=args.checkpoint,
+    request = _request_for(args, _sweep_request)
+    if _dump_spec(args, request):
+        return 0
+    response = explore(
+        request, jobs=args.jobs, checkpoint_path=args.checkpoint
     )
-    print(format_fig3_table(rows))
-    if args.plot:
-        print()
-        print(plot_sweep(rows))
+    _emit(response, args)
     return 0
 
 
@@ -132,32 +257,26 @@ def cmd_compare(args: argparse.Namespace) -> int:
     result = run_comparison(
         n_clbs=args.clbs,
         sa_iterations=args.iterations,
-        sa_warmup=_warmup(args),
+        sa_warmup=args.warmup,
         ga_population=args.population,
         ga_generations=args.generations,
-        seed=args.seed if args.seed is not None else 11,
+        seed=args.seed,
         engine=args.engine,
         jobs=args.jobs,
     )
-    print(result.format_table())
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.format_table())
     return 0
 
 
 def cmd_portfolio(args: argparse.Namespace) -> int:
-    application = _load_app(args.application)
-    entries = run_portfolio(
-        application,
-        architecture=_load_arch(args.architecture, args.clbs),
-        iterations=args.iterations,
-        seed=args.seed,
-        engine=args.engine,
-        jobs=args.jobs,
-        warmup_iterations=args.warmup,
-    )
-    deadline = (
-        MOTION_DEADLINE_MS if args.application is None else None
-    )
-    print(format_portfolio_table(entries, deadline_ms=deadline))
+    request = _request_for(args, _portfolio_request)
+    if _dump_spec(args, request):
+        return 0
+    response = explore(request, jobs=args.jobs)
+    _emit(response, args)
     return 0
 
 
@@ -180,12 +299,16 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         runs=args.runs,
         seed=args.seed,
     )
+    progress = None if args.json else print
     suite_run = run_suite(
-        args.suite, context, pattern=args.filter, progress=print
+        args.suite, context, pattern=args.filter, progress=progress
     )
     document = results_document(suite_run)
     out_path = args.out or f"BENCH_{args.suite}.json"
     write_results(document, out_path)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
     print()
     print(format_results_table(document))
     print()
@@ -206,6 +329,23 @@ def cmd_bench_list(args: argparse.Namespace) -> int:
 
     suite = None if args.suite == "all" else args.suite
     cases = list_cases(suite=suite, pattern=args.filter)
+    if args.json:
+        print(json.dumps({
+            "cases": [
+                {"name": case.name, "suites": list(case.suites)}
+                for case in cases
+            ],
+            "scenarios": {
+                name: {
+                    "family": entry.family,
+                    "seed": entry.seed,
+                    "params": entry.param_dict,
+                    "tags": list(entry.tags),
+                }
+                for name, entry in CORPUS.items()
+            },
+        }, indent=2))
+        return 0
     print(f"bench cases ({len(cases)}):")
     for case in cases:
         print(f"  {case.name:<42} suites={','.join(case.suites)}")
@@ -224,19 +364,40 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         min_delta_s=args.min_delta,
     )
-    print(format_comparison(comparison))
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(format_comparison(comparison))
     return 0 if comparison.ok else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    application = _load_app(args.application)
+    from repro.api.resolve import resolve_application
+
+    problem = resolve_application(_application_spec(args.application))
+    application = problem.application
+    sources = [application.task(t).name for t in application.sources()]
+    sinks = [application.task(t).name for t in application.sinks()]
+    if args.json:
+        document: Dict[str, Any] = {
+            "name": application.name,
+            "tasks": len(application),
+            "hardware_capable_tasks":
+                len(application.hardware_capable_tasks()),
+            "dependencies": application.dag.num_edges(),
+            "total_sw_time_ms": application.total_sw_time_ms(),
+            "sources": sources,
+            "sinks": sinks,
+        }
+        if problem.deadline_ms is not None:
+            document["deadline_ms"] = problem.deadline_ms
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"application: {application.name}")
     print(f"  tasks: {len(application)} "
           f"({len(application.hardware_capable_tasks())} hardware-capable)")
     print(f"  dependencies: {application.dag.num_edges()}")
     print(f"  all-software time: {application.total_sw_time_ms():.2f} ms")
-    sources = [application.task(t).name for t in application.sources()]
-    sinks = [application.task(t).name for t in application.sinks()]
     print(f"  sources: {sources}")
     print(f"  sinks:   {sinks}")
     if len(application) <= 40:
@@ -246,6 +407,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# the parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,14 +429,25 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["full", "incremental"],
                        help="evaluation engine (incremental = array-based "
                             "fast path, full = reference rebuild)")
+        p.add_argument("--json", action="store_true",
+                       help="print the machine-readable response envelope")
+
+    def spec_flags(p):
+        p.add_argument("--spec", metavar="FILE",
+                       help="run this ExplorationRequest spec file "
+                            "(other request flags are ignored)")
+        p.add_argument("--dump-spec", metavar="PATH", nargs="?", const="-",
+                       help="write the assembled request spec (stdout "
+                            "with no PATH) instead of running it")
 
     def parallel(p):
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes (results are bit-identical "
                             "to --jobs 1 for the same seeds)")
 
-    p = sub.add_parser("explore", help="run the annealing explorer")
+    p = sub.add_parser("explore", help="run an exploration request")
     common(p)
+    spec_flags(p)
     p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
     p.add_argument("--clbs", type=int, default=2000, help="device size for the default architecture")
     p.add_argument("--schedule", default="lam",
@@ -286,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="device-size sweep (Fig. 3)")
     common(p)
+    spec_flags(p)
     parallel(p)
     p.add_argument("--sizes", default="200,400,800,2000,5000",
                    help="comma-separated CLB counts")
@@ -309,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="race all search strategies on one instance",
     )
     common(p)
+    spec_flags(p)
     parallel(p)
     p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
     p.add_argument("--clbs", type=int, default=2000)
@@ -343,6 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--verbose", action="store_true",
                    help="print each case's full report")
+    p.add_argument("--json", action="store_true",
+                   help="print the results document to stdout")
     p.set_defaults(func=cmd_bench_run)
 
     p = bench_sub.add_parser(
@@ -350,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--suite", default="all", choices=["quick", "full", "all"])
     p.add_argument("--filter", metavar="SUBSTR")
+    p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_bench_list)
 
     p = bench_sub.add_parser(
@@ -364,10 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-delta", type=float, default=0.05,
                    help="absolute noise floor in seconds: slowdowns "
                         "smaller than this never count (default 0.05)")
+    p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("info", help="describe an application")
     p.add_argument("--application")
+    p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_info)
 
     return parser
@@ -376,7 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,14 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.model.motion import MOTION_DEADLINE_MS, motion_detection_application
-from repro.search.runner import (
-    InstanceSpec,
-    SearchJob,
+from repro.api.facade import explore
+from repro.api.specs import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
     StrategySpec,
-    best_evaluation_of,
-    run_search_jobs,
 )
+from repro.model.motion import MOTION_DEADLINE_MS
 
 
 @dataclass
@@ -48,6 +50,21 @@ class ComparisonResult:
     @property
     def sa_wins_quality(self) -> bool:
         return self.sa_makespan_ms <= self.ga_makespan_ms
+
+    def to_dict(self) -> dict:
+        """JSON form for ``repro compare --json``."""
+        return {
+            "sa_makespan_ms": self.sa_makespan_ms,
+            "sa_runtime_s": self.sa_runtime_s,
+            "sa_contexts": self.sa_contexts,
+            "ga_makespan_ms": self.ga_makespan_ms,
+            "ga_runtime_s": self.ga_runtime_s,
+            "ga_contexts": self.ga_contexts,
+            "ga_evaluations": self.ga_evaluations,
+            "deadline_ms": self.deadline_ms,
+            "speedup": self.speedup,
+            "sa_wins_quality": self.sa_wins_quality,
+        }
 
     def format_table(self) -> str:
         rows = [
@@ -72,7 +89,7 @@ class ComparisonResult:
 def run_comparison(
     n_clbs: int = 2000,
     sa_iterations: int = 8000,
-    sa_warmup: int = 1200,
+    sa_warmup: Optional[int] = 1200,
     ga_population: int = 300,
     ga_generations: int = 40,
     seed: int = 11,
@@ -87,55 +104,58 @@ def run_comparison(
     budget spirit and keeps the best (still far cheaper than one GA).
     Both optimizers score candidates through the same evaluation
     ``engine`` (``"full"`` or ``"incremental"``), so the comparison
-    stays on identical ground either way.  All runs (the SA restarts
-    and the GA) are independent jobs, so ``jobs=N`` races them across
-    worker processes.
+    stays on identical ground either way.  Since the ``repro.api``
+    redesign this function is a thin spec builder: the SA restarts are
+    one multi-seed batch request and the GA one single request, both
+    executed through :func:`repro.api.facade.explore` (``jobs=N``
+    parallelizes within each request; every run is independently
+    seeded, so the numbers are identical to any other grouping).
     """
-    application = motion_detection_application()
-    instance = InstanceSpec(application, n_clbs=n_clbs)
+    application = ApplicationSpec(kind="builtin", name="motion")
+    architecture = ArchitectureSpec(kind="builtin", n_clbs=n_clbs)
 
-    sa_spec = StrategySpec("sa", {
-        "iterations": sa_iterations,
-        "warmup_iterations": sa_warmup,
-        "keep_trace": False,
-        "engine": engine,
-    })
-    ga_spec = StrategySpec("ga", {
-        "population_size": ga_population,
-        "generations": ga_generations,
-        "engine": engine,
-    })
-    job_list = [
-        SearchJob(sa_spec, instance, seed=seed + k, tag="sa")
-        for k in range(sa_best_of)
-    ]
-    job_list.append(SearchJob(ga_spec, instance, seed=seed, tag="ga"))
-    outcomes = run_search_jobs(
-        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+    sa_request = ExplorationRequest(
+        kind="batch",
+        application=application,
+        architecture=architecture,
+        strategy=StrategySpec("sa", {"keep_trace": False}),
+        budget=BudgetSpec(
+            iterations=sa_iterations, warmup_iterations=sa_warmup
+        ),
+        engine=EngineSpec(engine),
+        seeds=tuple(seed + k for k in range(sa_best_of)),
+    )
+    ga_request = ExplorationRequest(
+        kind="single",
+        application=application,
+        architecture=architecture,
+        strategy=StrategySpec("ga", {
+            "population_size": ga_population,
+            "generations": ga_generations,
+        }),
+        engine=EngineSpec(engine),
+        seed=seed,
+    )
+    sa_response = explore(
+        sa_request, jobs=jobs, checkpoint_path=checkpoint_path
+    )
+    ga_response = explore(
+        ga_request,
+        jobs=jobs,
+        checkpoint_path=None if checkpoint_path is None
+        else checkpoint_path + ".ga",
     )
 
-    sa_best = None
-    sa_best_ev = None
-    sa_total_runtime = 0.0
-    ga_result = None
-    for outcome in outcomes:
-        if outcome.tag == "ga":
-            ga_result = outcome.result
-            continue
-        sa_total_runtime += outcome.result.runtime_s
-        ev = best_evaluation_of(outcome.result)
-        if sa_best is None or ev.makespan_ms < sa_best_ev.makespan_ms:
-            sa_best, sa_best_ev = outcome.result, ev
-    assert sa_best is not None and ga_result is not None
-    ga_ev = best_evaluation_of(ga_result)
-
+    sa_best = sa_response.best
+    ga_best = ga_response.best
+    ga_record = ga_response.results[0]
     return ComparisonResult(
-        sa_makespan_ms=sa_best_ev.makespan_ms,
-        sa_runtime_s=sa_total_runtime,
-        sa_contexts=sa_best_ev.num_contexts,
-        ga_makespan_ms=ga_ev.makespan_ms,
-        ga_runtime_s=ga_result.runtime_s,
-        ga_contexts=ga_ev.num_contexts,
-        ga_evaluations=ga_result.evaluations,
+        sa_makespan_ms=sa_best["evaluation"]["makespan_ms"],
+        sa_runtime_s=sum(r["runtime_s"] for r in sa_response.results),
+        sa_contexts=sa_best["evaluation"]["num_contexts"],
+        ga_makespan_ms=ga_best["evaluation"]["makespan_ms"],
+        ga_runtime_s=ga_record["runtime_s"],
+        ga_contexts=ga_best["evaluation"]["num_contexts"],
+        ga_evaluations=ga_record["evaluations"],
         deadline_ms=MOTION_DEADLINE_MS,
     )

@@ -12,38 +12,59 @@ iteration index.  Paper narrative to reproduce:
   40 ms constraint;
 * the frozen final configuration sits well below the constraint with a
   small number of contexts (paper: 18.1 ms, 3 contexts).
+
+Since the ``repro.api`` redesign the run is a thin spec builder: one
+single-run :class:`~repro.api.specs.ExplorationRequest` with
+``keep_trace`` on, executed through :func:`repro.api.facade.explore`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from repro.arch.architecture import epicure_architecture
-from repro.mapping.evaluator import Evaluation
-from repro.model.motion import (
-    MOTION_DEADLINE_MS,
-    motion_detection_application,
+from repro.api.facade import explore
+from repro.api.specs import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
+    StrategySpec,
 )
-from repro.sa.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.mapping.evaluator import Evaluation
+from repro.model.motion import MOTION_DEADLINE_MS
 from repro.sa.trace import TraceRecord
+from repro.search.strategy import SearchResult
 
 
 @dataclass
 class Fig2Result:
     """Trace and summary of the Fig. 2 run."""
 
-    exploration: ExplorationResult
+    result: SearchResult
     deadline_ms: float
     warmup_iterations: int
 
     @property
     def trace(self) -> List[TraceRecord]:
-        return self.exploration.trace
+        return self.result.trace
 
     @property
     def final_evaluation(self) -> Evaluation:
-        return self.exploration.best_evaluation
+        return self.result.extras["best_evaluation"]
+
+    @property
+    def initial_evaluation(self) -> Evaluation:
+        return self.result.extras["initial_evaluation"]
+
+    @property
+    def iterations_run(self) -> int:
+        return self.result.iterations_run
+
+    @property
+    def runtime_s(self) -> float:
+        return self.result.runtime_s
 
     def series(self) -> List[Tuple[int, float, int]]:
         """(iteration, execution time, number of contexts) — the two
@@ -79,8 +100,8 @@ class Fig2Result:
         hit = self.iterations_to_deadline()
         lines = [
             "Fig. 2 — evolution of execution time and number of contexts",
-            f"  initial solution: {self.exploration.initial_evaluation.makespan_ms:.1f} ms "
-            f"({self.exploration.initial_evaluation.num_contexts} contexts)",
+            f"  initial solution: {self.initial_evaluation.makespan_ms:.1f} ms "
+            f"({self.initial_evaluation.num_contexts} contexts)",
             f"  infinite-T phase: first {self.warmup_iterations} iterations, "
             f"execution time in [{lo:.1f}, {hi:.1f}] ms",
             f"  contexts explored: {cmin}..{cmax}",
@@ -88,10 +109,30 @@ class Fig2Result:
             f"  frozen solution: {ev.makespan_ms:.2f} ms, {ev.num_contexts} contexts, "
             f"{ev.hw_tasks} hw tasks, reconfig {ev.initial_reconfig_ms:.2f}+"
             f"{ev.dynamic_reconfig_ms:.2f} ms",
-            f"  run time: {self.exploration.runtime_s:.2f} s "
-            f"({self.exploration.annealing.iterations_run} iterations)",
+            f"  run time: {self.runtime_s:.2f} s "
+            f"({self.iterations_run} iterations)",
         ]
         return "\n".join(lines)
+
+
+def fig2_request(
+    n_clbs: int = 2000,
+    iterations: int = 8000,
+    warmup_iterations: int = 1200,
+    seed: int = 7,
+) -> ExplorationRequest:
+    """The Fig. 2 experiment as a declarative spec."""
+    return ExplorationRequest(
+        kind="single",
+        application=ApplicationSpec(kind="builtin", name="motion"),
+        architecture=ArchitectureSpec(kind="builtin", n_clbs=n_clbs),
+        strategy=StrategySpec("sa", {"keep_trace": True}),
+        budget=BudgetSpec(
+            iterations=iterations, warmup_iterations=warmup_iterations
+        ),
+        engine=EngineSpec("full"),
+        seed=seed,
+    )
 
 
 def run_fig2(
@@ -102,19 +143,15 @@ def run_fig2(
     deadline_ms: float = MOTION_DEADLINE_MS,
 ) -> Fig2Result:
     """Run the Fig. 2 experiment (single annealing run with full trace)."""
-    application = motion_detection_application()
-    architecture = epicure_architecture(n_clbs=n_clbs)
-    explorer = DesignSpaceExplorer(
-        application,
-        architecture,
+    request = fig2_request(
+        n_clbs=n_clbs,
         iterations=iterations,
         warmup_iterations=warmup_iterations,
         seed=seed,
-        keep_trace=True,
     )
-    exploration = explorer.run()
+    response = explore(request)
     return Fig2Result(
-        exploration=exploration,
+        result=response.best_result,
         deadline_ms=deadline_ms,
         warmup_iterations=warmup_iterations,
     )

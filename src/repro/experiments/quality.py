@@ -16,15 +16,15 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.stats import summarize, Summary
-from repro.errors import ConfigurationError
-from repro.model.motion import motion_detection_application
-from repro.search.runner import (
-    InstanceSpec,
-    SearchJob,
+from repro.api.facade import explore
+from repro.api.specs import (
+    ApplicationSpec,
+    ArchitectureSpec,
+    BudgetSpec,
+    ExplorationRequest,
     StrategySpec,
-    best_evaluation_of,
-    run_search_jobs,
 )
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -59,48 +59,51 @@ def run_quality_knob(
 ) -> List[QualityKnobRow]:
     """Sweep the cooling-speed knob; budgets scale as 1/lambda.
 
-    Every ``(rate, run)`` cell is an independent job, so ``jobs=N``
-    spreads the whole sweep across worker processes.
+    Since the ``repro.api`` redesign this is a thin spec builder: each
+    lambda rate becomes one multi-seed batch
+    :class:`~repro.api.specs.ExplorationRequest` executed through
+    :func:`repro.api.facade.explore`; ``jobs=N`` spreads each batch
+    across worker processes.
     """
     if not lambda_rates:
         raise ConfigurationError("need at least one lambda rate")
     if runs < 1:
         raise ConfigurationError("runs must be >= 1")
-    application = motion_detection_application()
-    instance = InstanceSpec(application, n_clbs=n_clbs)
-    job_list = [
-        SearchJob(
-            StrategySpec("sa", {
-                "iterations": warmup + round(budget_constant / rate),
-                "warmup_iterations": warmup,
+    rows: List[QualityKnobRow] = []
+    for index, rate in enumerate(lambda_rates):
+        request = ExplorationRequest(
+            kind="batch",
+            application=ApplicationSpec(kind="builtin", name="motion"),
+            architecture=ArchitectureSpec(kind="builtin", n_clbs=n_clbs),
+            strategy=StrategySpec("sa", {
                 "schedule_kwargs": {"lambda_rate": rate},
                 "keep_trace": False,
             }),
-            instance,
-            seed=seed0 + r,
-            tag=[rate, r],
+            budget=BudgetSpec(
+                iterations=warmup + round(budget_constant / rate),
+                warmup_iterations=warmup,
+            ),
+            seeds=tuple(seed0 + r for r in range(runs)),
         )
-        for rate in lambda_rates
-        for r in range(runs)
-    ]
-    outcomes = run_search_jobs(
-        job_list, jobs=jobs, checkpoint_path=checkpoint_path
-    )
-    by_cell = {(o.tag[0], o.tag[1]): o.result for o in outcomes}
-    rows: List[QualityKnobRow] = []
-    for rate in lambda_rates:
-        results = [by_cell[(rate, r)] for r in range(runs)]
-        costs = [
-            best_evaluation_of(result).makespan_ms for result in results
-        ]
+        response = explore(
+            request,
+            jobs=jobs,
+            checkpoint_path=None if checkpoint_path is None
+            else f"{checkpoint_path}.r{index}",
+        )
         rows.append(
             QualityKnobRow(
                 lambda_rate=rate,
-                makespan=summarize(costs),
-                mean_iterations=(
-                    sum(float(r.iterations_run) for r in results) / runs
+                makespan=summarize(
+                    [r["evaluation"]["makespan_ms"] for r in response.results]
                 ),
-                mean_runtime_s=sum(r.runtime_s for r in results) / runs,
+                mean_iterations=(
+                    sum(float(r["iterations_run"]) for r in response.results)
+                    / runs
+                ),
+                mean_runtime_s=(
+                    sum(r["runtime_s"] for r in response.results) / runs
+                ),
             )
         )
     return rows

@@ -43,7 +43,7 @@ from repro.errors import ConfigurationError
 from repro.mapping.evaluator import Evaluation, Evaluator
 from repro.mapping.solution import Solution
 from repro.model.application import Application
-from repro.search.strategy import SearchResult, SearchStrategy
+from repro.search.strategy import SearchBudget, SearchResult, SearchStrategy
 
 try:  # numpy is an optional dependency of the seed derivation only
     from numpy.random import SeedSequence as _SeedSequence
@@ -152,7 +152,10 @@ class SearchJob:
     outcome (consumers use it to regroup results); ``initial`` is an
     optional starting solution (build it from the same ``application``
     / ``architecture`` objects as the spec so the pickled job stays one
-    consistent object graph).
+    consistent object graph).  ``budget`` adds wall-clock / stall limits
+    on top of the strategy's own iteration budget (note: the budget is
+    not part of the checkpoint fingerprint — keep it out of
+    checkpointed batches whose limits you intend to vary).
     """
 
     strategy: StrategySpec
@@ -160,6 +163,7 @@ class SearchJob:
     seed: Optional[int] = None
     tag: Any = None
     initial: Optional[Solution] = None
+    budget: Optional[SearchBudget] = None
 
 
 @dataclass
@@ -183,6 +187,7 @@ KNOWN_OPTIONS: Dict[str, frozenset] = {
         "iterations", "warmup_iterations", "schedule_name",
         "schedule_kwargs", "p_zero", "p_impl", "catalog", "bus_policy",
         "keep_trace", "stall_limit", "initial_hw_fraction", "engine",
+        "cost_function",
     }),
     "hill_climber": frozenset({
         "iterations", "p_zero", "p_impl", "p_offload", "catalog",
@@ -319,7 +324,7 @@ def _execute_job(payload: Tuple[int, SearchJob]) -> Tuple[int, SearchResult]:
     index, job = payload
     application, architecture = job.instance.build()
     strategy = build_strategy(job.strategy, application, architecture, job.seed)
-    result = strategy.search(job.initial)
+    result = strategy.search(job.initial, budget=job.budget)
     return index, result
 
 

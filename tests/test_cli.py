@@ -176,6 +176,120 @@ class TestBench:
         assert "REGRESSION" in capsys.readouterr().out
 
 
+class TestJsonOutput:
+    def test_explore_json_envelope(self, capsys):
+        assert main([
+            "explore", "--iterations", "300", "--warmup", "60",
+            "--seed", "1", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "exploration-response"
+        assert document["kind"] == "single"
+        assert document["best"]["evaluation"]["makespan_ms"] > 0
+        assert document["request"]["schema_version"] == 1
+
+    def test_sweep_json_envelope(self, capsys):
+        assert main([
+            "sweep", "--sizes", "400", "--runs", "1",
+            "--iterations", "200", "--warmup", "40", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "sweep"
+        assert document["summary"]["rows"][0]["n_clbs"] == 400
+
+    def test_compare_json(self, capsys):
+        assert main([
+            "compare", "--iterations", "300", "--warmup", "60",
+            "--population", "8", "--generations", "2", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sa_makespan_ms"] > 0
+        assert "speedup" in document
+
+    def test_info_json(self, capsys):
+        assert main(["info", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "motion_detection"
+        assert document["tasks"] == 28
+        assert document["deadline_ms"] == 40.0
+
+
+class TestSpecWorkflow:
+    def test_dump_spec_then_run_round_trips(self, tmp_path, capsys):
+        spec_path = tmp_path / "run.json"
+        assert main([
+            "explore", "--iterations", "250", "--warmup", "50",
+            "--seed", "4", "--dump-spec", str(spec_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "explore", "--iterations", "250", "--warmup", "50",
+            "--seed", "4", "--json",
+        ]) == 0
+        from_flags = json.loads(capsys.readouterr().out)
+        assert main([
+            "explore", "--spec", str(spec_path), "--json",
+        ]) == 0
+        from_spec = json.loads(capsys.readouterr().out)
+        # the spec file reproduces the flag-built run bit-for-bit
+        assert from_spec["best"] == from_flags["best"]
+        assert from_spec["request"] == from_flags["request"]
+
+    def test_dump_spec_to_stdout(self, capsys):
+        assert main([
+            "sweep", "--sizes", "300,600", "--runs", "2", "--dump-spec",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "sweep"
+        assert document["sizes"] == [300, 600]
+
+    def test_explore_runs_any_spec_kind(self, tmp_path, capsys):
+        spec_path = tmp_path / "portfolio.json"
+        assert main([
+            "portfolio", "--iterations", "200", "--warmup", "40",
+            "--seed", "3", "--dump-spec", str(spec_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["explore", "--spec", str(spec_path)]) == 0
+        assert "winner:" in capsys.readouterr().out
+
+    def test_bundled_examples_specs_load(self, capsys):
+        import os
+
+        spec = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "specs",
+            "motion_quick.json",
+        )
+        assert main(["explore", "--spec", spec, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["best"]["evaluation"]["feasible"]
+
+
+class TestValidationExitCodes:
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert main(["explore", "--spec", "/nonexistent.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_key_in_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1, "iters": 5}))
+        assert main(["explore", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "iters" in err and "accepted keys" in err
+
+    def test_invalid_application_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "app.json"
+        path.write_text("{not json")
+        assert main(["explore", "--application", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_stale_schema_version_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        assert main(["explore", "--spec", str(path)]) == 2
+        assert "newer" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
