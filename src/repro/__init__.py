@@ -72,6 +72,7 @@ from repro.arch import (
 )
 from repro.mapping import (
     ENGINES,
+    ArrayEngine,
     Evaluation,
     EvaluationEngine,
     Evaluator,
@@ -143,7 +144,7 @@ __all__ = [
     "Evaluation", "Evaluator", "MakespanCost", "Schedule", "Solution",
     "SystemCost", "extract_schedule", "random_initial_solution",
     "render_gantt", "ExecutionSimulator", "SimulationResult", "simulate",
-    "ENGINES", "EvaluationEngine", "FullRebuildEngine",
+    "ENGINES", "ArrayEngine", "EvaluationEngine", "FullRebuildEngine",
     "IncrementalEngine", "make_engine",
     # annealing
     "AnnealerConfig", "DesignSpaceExplorer", "ExplorationResult",

@@ -318,9 +318,11 @@ class BudgetSpec(_SpecBase):
 
 @dataclass(frozen=True)
 class EngineSpec(_SpecBase):
-    """Evaluation engine: ``"incremental"`` (array-based fast path,
-    default) or ``"full"`` (reference rebuild) — bit-identical results
-    either way (engine parity is enforced by the test suite)."""
+    """Evaluation engine: ``"incremental"`` (delta-patching fast path,
+    default), ``"array"`` (compiled NumPy struct-of-arrays engine with
+    persistent longest-path DP and batched move evaluation) or
+    ``"full"`` (reference rebuild) — bit-identical results either way
+    (engine parity is enforced by the test suite)."""
 
     kind: str = "incremental"
 

@@ -88,6 +88,23 @@ class Architecture:
             if candidate not in self._resources:
                 return candidate
 
+    def restore_resource_order(self, names: Sequence[str]) -> None:
+        """Reorder the resource table to ``names`` (a permutation of the
+        current resource names).
+
+        Resource enumeration order is observable state: move proposal
+        draws iterate it, so a move's undo must restore it exactly —
+        ``remove_resource`` + ``add_resource`` alone would re-append the
+        restored resource at the end.
+        """
+        resources = self._resources
+        if set(names) != set(resources) or len(names) != len(resources):
+            raise ArchitectureError(
+                "restore_resource_order needs a permutation of the "
+                "current resource names"
+            )
+        self._resources = {name: resources[name] for name in names}
+
     # ------------------------------------------------------------------
     # objective helpers
     # ------------------------------------------------------------------

@@ -36,8 +36,8 @@ from repro.mapping.evaluator import Evaluator
 from repro.mapping.solution import random_initial_solution
 from repro.sa.moves import MoveGenerator
 
-#: Both evaluation engines every throughput scenario is measured under.
-ENGINES = ("full", "incremental")
+#: The evaluation engines every throughput scenario is measured under.
+ENGINES = ("full", "incremental", "array")
 
 
 # ----------------------------------------------------------------------
@@ -238,9 +238,35 @@ class CaseResult:
     metrics: Dict[str, Any]
     evals_per_sec: Optional[float] = None
     report: Optional[str] = None
+    #: cProfile top-N cumulative dump of one extra run (``--profile``).
+    profile: Optional[str] = None
 
 
-def run_case(case: BenchCase, context: BenchContext) -> CaseResult:
+#: Functions shown per case in a ``--profile`` dump.
+PROFILE_TOP_N = 25
+
+
+def _profile_case(case: BenchCase, context: BenchContext, state: Any) -> str:
+    """One additional (untimed) run under cProfile; returns the top-N
+    cumulative-time table — the hotspot attribution that made PR 1's
+    RC-layout finding possible, now reproducible per case."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    case.run(context, state)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    return stream.getvalue()
+
+
+def run_case(
+    case: BenchCase, context: BenchContext, profile: bool = False
+) -> CaseResult:
     state = case.prepare(context)
     repeats_cap = getattr(case, "repeats_cap", None)
     warmup_cap = getattr(case, "warmup_cap", None)
@@ -274,6 +300,7 @@ def run_case(case: BenchCase, context: BenchContext) -> CaseResult:
         metrics=metrics,
         evals_per_sec=evals_per_sec,
         report=report,
+        profile=_profile_case(case, context, state) if profile else None,
     )
 
 
@@ -309,8 +336,10 @@ def run_suite(
     context: Optional[BenchContext] = None,
     pattern: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    profile: bool = False,
 ) -> SuiteRun:
-    """Run every registered case of ``suite`` (optionally filtered)."""
+    """Run every registered case of ``suite`` (optionally filtered).
+    ``profile`` adds one cProfile'd run per case (dump on the result)."""
     context = context if context is not None else context_for_suite(suite)
     cases = list_cases(suite=suite, pattern=pattern)
     if not cases:
@@ -321,7 +350,7 @@ def run_suite(
     for case in cases:
         if progress is not None:
             progress(f"running {case.name} ...")
-        suite_run.results.append(run_case(case, context))
+        suite_run.results.append(run_case(case, context, profile=profile))
     touched = sorted({name for case in cases for name in case.scenarios})
     for name in touched:
         suite_run.scenarios[name] = describe_scenario(get_scenario(name))

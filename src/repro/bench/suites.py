@@ -251,6 +251,49 @@ def _closure_full(context: BenchContext, state: Any) -> Dict[str, Any]:
 
 
 @bench_case(
+    name="micro/rc_layout_realization",
+    suites=("quick", "full"),
+    scenarios=("motion/2000",),
+)
+def _rc_layout_realization(context: BenchContext, state: Any) -> Dict[str, Any]:
+    """Targeted micro-bench for the per-move RC-layout realization path
+    (PR 1's residual constant factor): every iteration flips one
+    hardware task's implementation choice — re-stamping the DRLC and
+    forcing ``IncrementalEngine._refresh_rc`` — and re-evaluates.  The
+    layout *content* recurs after every full cycle through the variants,
+    so this measures exactly the stamp-miss/content-hit path the
+    content-keyed layout memo accelerates."""
+    instance = get_scenario("motion/2000").build()
+    application, architecture = instance.application, instance.architecture
+    evaluator = Evaluator(application, architecture, engine="incremental")
+    solution = random_initial_solution(
+        application, architecture, random.Random(context.seed),
+        hw_fraction=1.0,
+    )
+    flippable = [
+        t for t in application.task_indices()
+        if solution.context_of(t) is not None
+        and application.task(t).num_implementations > 1
+    ]
+    makespan = evaluator.evaluate(solution).makespan_ms
+    n = context.evals
+    for k in range(n):
+        task_index = flippable[k % len(flippable)]
+        task = application.task(task_index)
+        choice = (
+            solution.implementation_choice(task_index) + 1
+        ) % task.num_implementations
+        solution.set_implementation_choice(task_index, choice)
+        makespan = evaluator.evaluate(solution).makespan_ms
+    return {
+        "evaluations": n,
+        "final_makespan_ms": makespan,
+        "engine": "incremental",
+        "flippable_tasks": len(flippable),
+    }
+
+
+@bench_case(
     name="kernel/solution_evaluation",
     suites=("quick", "full"),
     scenarios=("motion/2000",),

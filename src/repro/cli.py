@@ -301,11 +301,22 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     )
     progress = None if args.json else print
     suite_run = run_suite(
-        args.suite, context, pattern=args.filter, progress=progress
+        args.suite, context, pattern=args.filter, progress=progress,
+        profile=args.profile,
     )
     document = results_document(suite_run)
     out_path = args.out or f"BENCH_{args.suite}.json"
     write_results(document, out_path)
+    if args.profile:
+        profile_path = out_path.rsplit(".json", 1)[0] + ".profile.txt"
+        with open(profile_path, "w") as handle:
+            for result in suite_run.results:
+                if result.profile:
+                    handle.write(f"=== {result.name}\n")
+                    handle.write(result.profile)
+                    handle.write("\n")
+        if not args.json:
+            print(f"cProfile dumps written to {profile_path}")
     if args.json:
         print(json.dumps(document, indent=2))
         return 0
@@ -426,9 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warmup iterations at infinite temperature "
                             "(default: min(1200, iterations/4))")
         p.add_argument("--engine", default="incremental",
-                       choices=["full", "incremental"],
-                       help="evaluation engine (incremental = array-based "
-                            "fast path, full = reference rebuild)")
+                       choices=["full", "incremental", "array"],
+                       help="evaluation engine (array = compiled NumPy "
+                            "struct-of-arrays engine, incremental = "
+                            "delta-patching fast path, full = reference "
+                            "rebuild; makespans are bit-identical)")
         p.add_argument("--json", action="store_true",
                        help="print the machine-readable response envelope")
 
@@ -518,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=None,
                    help="seeds per multi-seed case")
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile one extra run per case and write the "
+                        "top-N cumulative dumps next to the report "
+                        "(<out>.profile.txt) — reproducible hotspot "
+                        "attribution")
     p.add_argument("--verbose", action="store_true",
                    help="print each case's full report")
     p.add_argument("--json", action="store_true",

@@ -10,8 +10,10 @@ solution's execution time (section 4.4).
 
 from repro.mapping.solution import Solution, random_initial_solution
 from repro.mapping.search_graph import SearchGraph, SearchGraphBuilder, COMM_NODE
+from repro.mapping.compiled import CompiledInstance, compile_instance
 from repro.mapping.engine import (
     ENGINES,
+    ArrayEngine,
     EvaluationEngine,
     FullRebuildEngine,
     IncrementalEngine,
@@ -35,6 +37,9 @@ __all__ = [
     "SearchGraphBuilder",
     "COMM_NODE",
     "ENGINES",
+    "ArrayEngine",
+    "CompiledInstance",
+    "compile_instance",
     "EvaluationEngine",
     "FullRebuildEngine",
     "IncrementalEngine",

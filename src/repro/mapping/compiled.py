@@ -1,0 +1,296 @@
+"""One-time compilation of a problem instance into dense arrays.
+
+Every evaluation engine that wants to score thousands of candidate
+solutions per second needs the same solution-independent tables: task
+indices interned to dense ids, per-task software/hardware durations,
+the dependency list with precomputed bus transfer times, the permanent
+``src -> comm -> dst`` wiring of the static dependency layer, and the
+precedence adjacency over dense ids.  This module is the single place
+where a :class:`~repro.model.application.Application` (plus the bus it
+communicates over) is flattened into that struct-of-arrays form —
+:class:`~repro.mapping.engine.IncrementalEngine` consumes the plain
+Python lists for its scalar delta-patching loops, and
+:class:`~repro.mapping.engine.ArrayEngine` additionally uses the NumPy
+views for its vectorized kernels (:mod:`repro.graph.kernels`).
+
+The compile pass runs **once per search** (and again only if a caller
+swaps the bus object); everything in it is solution-independent.  The
+dense-id layout is load-bearing and shared by all engines:
+
+* ids ``[0, ntasks)`` are the application tasks in
+  ``application.task_indices()`` order;
+* ids ``[ntasks, ntasks + ndeps)`` are the communication nodes, one per
+  dependency in ``application.dependencies()`` order;
+* ids beyond that are virtual nodes (per-DRLC configuration nodes)
+  interned on demand by the engines.
+
+NumPy is a declared dependency of the package (the ``array`` engine and
+the batched kernels need it), but it is imported lazily through
+:func:`repro.graph.kernels.require_numpy`: the scalar engines never
+touch the array views, so they neither pay the import nor break should
+an environment be missing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.arch.processor import Processor
+from repro.graph.dag import NodeInterner
+from repro.graph.kernels import require_numpy
+from repro.mapping.search_graph import COMM_NODE
+from repro.model.application import Application
+
+
+@dataclass
+class CompiledInstance:
+    """The dense, solution-independent tables of one problem instance.
+
+    Plain-list fields mirror exactly what the incremental engine's
+    skeleton used to build inline; the ``*_np`` properties expose the
+    same data as NumPy arrays (built lazily, cached) for the vectorized
+    kernels.
+    """
+
+    application: Application
+    bus: Any
+    #: Application task indices in interning order (dense id = position).
+    tasks: List[int]
+    #: task index -> dense id.
+    tid: Dict[int, int]
+    #: Software execution time per dense task id.
+    sw_ms: List[float]
+    #: Hardware implementation CLB/time tables (None for SW-only tasks).
+    impl_clbs: List[Optional[List[int]]]
+    impl_ms: List[Optional[List[float]]]
+    #: Precedence adjacency over dense task ids.
+    pred_ids: List[List[int]]
+    succ_ids: List[List[int]]
+    #: Dependency arrays: original task indices, dense ids, bus transfer
+    #: times, interned comm-node ids, and the deps touching each task.
+    dep_srct: List[int]
+    dep_dstt: List[int]
+    dep_src: List[int]
+    dep_dst: List[int]
+    dep_transfer: List[float]
+    dep_comm: List[int]
+    deps_of_task: List[List[int]]
+    #: The interner holding tasks + comm nodes (engines intern virtual
+    #: configuration nodes on top of it).
+    interner: NodeInterner
+    #: Static dependency layer: per-node comm predecessors, successors
+    #: and indegrees of the permanent ``src -> comm -> dst`` wiring.
+    pred_comms: List[List[int]]
+    succ_static: List[List[int]]
+    indeg_static: List[int]
+
+    _np_cache: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def ntasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def ndeps(self) -> int:
+        return len(self.dep_srct)
+
+    # ------------------------------------------------------------------
+    # NumPy views (lazy, cached)
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, build) -> Any:
+        value = self._np_cache.get(key)
+        if value is None:
+            value = build()
+            self._np_cache[key] = value
+        return value
+
+    @property
+    def dep_src_np(self):
+        np = require_numpy()
+        return self._cached(
+            "dep_src", lambda: np.asarray(self.dep_src, dtype=np.int32)
+        )
+
+    @property
+    def dep_dst_np(self):
+        np = require_numpy()
+        return self._cached(
+            "dep_dst", lambda: np.asarray(self.dep_dst, dtype=np.int32)
+        )
+
+    @property
+    def dep_comm_np(self):
+        np = require_numpy()
+        return self._cached(
+            "dep_comm", lambda: np.asarray(self.dep_comm, dtype=np.int32)
+        )
+
+    @property
+    def dep_transfer_np(self):
+        np = require_numpy()
+        return self._cached(
+            "dep_transfer",
+            lambda: np.asarray(self.dep_transfer, dtype=np.float64),
+        )
+
+    @property
+    def static_edge_src_np(self):
+        """Sources of the static layer's edges: ``[src -> comm] +
+        [comm -> dst]`` in dependency order (``2 * ndeps`` edges).  The
+        first ``ndeps`` edges carry the per-solution pass-through weight
+        (``comm_w``); the second half always weighs 0."""
+        np = require_numpy()
+        return self._cached(
+            "static_src",
+            lambda: np.concatenate(
+                [self.dep_src_np, self.dep_comm_np]
+            ).astype(np.int64),
+        )
+
+    @property
+    def static_edge_dst_np(self):
+        np = require_numpy()
+        return self._cached(
+            "static_dst",
+            lambda: np.concatenate(
+                [self.dep_comm_np, self.dep_dst_np]
+            ).astype(np.int64),
+        )
+
+    @property
+    def sw_ms_np(self):
+        np = require_numpy()
+        return self._cached(
+            "sw_ms", lambda: np.asarray(self.sw_ms, dtype=np.float64)
+        )
+
+    @property
+    def impl_ms_matrix(self):
+        """``(ntasks, max_impls)`` hardware execution times, padded with
+        ``+inf`` (software-only tasks are all-inf rows)."""
+        np = require_numpy()
+
+        def build():
+            width = max(
+                (len(row) for row in self.impl_ms if row is not None),
+                default=0,
+            )
+            matrix = np.full((self.ntasks, max(width, 1)), np.inf)
+            for i, row in enumerate(self.impl_ms):
+                if row is not None:
+                    matrix[i, : len(row)] = row
+            return matrix
+
+        return self._cached("impl_ms_matrix", build)
+
+    @property
+    def impl_clbs_matrix(self):
+        """``(ntasks, max_impls)`` implementation areas, padded with 0."""
+        np = require_numpy()
+
+        def build():
+            width = self.impl_ms_matrix.shape[1]
+            matrix = np.zeros((self.ntasks, width), dtype=np.int32)
+            for i, row in enumerate(self.impl_clbs):
+                if row is not None:
+                    matrix[i, : len(row)] = row
+            return matrix
+
+        return self._cached("impl_clbs_matrix", build)
+
+    def processor_ms_matrix(self, architecture):
+        """``(num_processors, ntasks)`` software durations on each of
+        the architecture's processors (``sw_ms / speed_factor`` — the
+        exact float division the scalar sync performs).  Not cached: the
+        processor set can change under architecture-exploration moves.
+        """
+        np = require_numpy()
+        processors = [
+            r for r in architecture.resources() if type(r) is Processor
+        ]
+        matrix = np.empty((len(processors), self.ntasks))
+        for row, proc in enumerate(processors):
+            np.divide(self.sw_ms_np, proc.speed_factor, out=matrix[row])
+        return matrix
+
+
+def compile_instance(application: Application, bus) -> CompiledInstance:
+    """Flatten ``application`` (communicating over ``bus``) into the
+    dense struct-of-arrays form.  Deterministic: tables depend only on
+    the application's task/dependency iteration order."""
+    tasks = list(application.task_indices())
+    ntasks = len(tasks)
+    tid = {t: i for i, t in enumerate(tasks)}
+    interner = NodeInterner(tasks)
+
+    sw_ms: List[float] = [0.0] * ntasks
+    impl_clbs: List[Optional[List[int]]] = [None] * ntasks
+    impl_ms: List[Optional[List[float]]] = [None] * ntasks
+    pred_ids: List[List[int]] = [[] for _ in range(ntasks)]
+    succ_ids: List[List[int]] = [[] for _ in range(ntasks)]
+    for i, t in enumerate(tasks):
+        task = application.task(t)
+        sw_ms[i] = task.sw_time_ms
+        if task.hardware_capable:
+            impl_clbs[i] = [impl.clbs for impl in task.implementations]
+            impl_ms[i] = [impl.time_ms for impl in task.implementations]
+
+    dep_srct: List[int] = []
+    dep_dstt: List[int] = []
+    dep_src: List[int] = []
+    dep_dst: List[int] = []
+    dep_transfer: List[float] = []
+    dep_comm: List[int] = []
+    deps_of_task: List[List[int]] = [[] for _ in range(ntasks)]
+    for src, dst, kbytes in application.dependencies():
+        j = len(dep_srct)
+        s, d = tid[src], tid[dst]
+        dep_srct.append(src)
+        dep_dstt.append(dst)
+        dep_src.append(s)
+        dep_dst.append(d)
+        dep_transfer.append(bus.transfer_time_ms(kbytes))
+        dep_comm.append(interner.intern((COMM_NODE, src, dst)))
+        deps_of_task[s].append(j)
+        deps_of_task[d].append(j)
+        pred_ids[d].append(s)
+        succ_ids[s].append(d)
+    ndeps = len(dep_srct)
+    assert all(dep_comm[j] == ntasks + j for j in range(ndeps))
+
+    n = len(interner)
+    pred_comms: List[List[int]] = [[] for _ in range(n)]
+    succ_static: List[List[int]] = [[] for _ in range(n)]
+    indeg_static = [0] * n
+    for j in range(ndeps):
+        s, c, d = dep_src[j], dep_comm[j], dep_dst[j]
+        pred_comms[d].append(c)
+        succ_static[s].append(c)
+        succ_static[c].append(d)
+        indeg_static[c] += 1
+        indeg_static[d] += 1
+
+    return CompiledInstance(
+        application=application,
+        bus=bus,
+        tasks=tasks,
+        tid=tid,
+        sw_ms=sw_ms,
+        impl_clbs=impl_clbs,
+        impl_ms=impl_ms,
+        pred_ids=pred_ids,
+        succ_ids=succ_ids,
+        dep_srct=dep_srct,
+        dep_dstt=dep_dstt,
+        dep_src=dep_src,
+        dep_dst=dep_dst,
+        dep_transfer=dep_transfer,
+        dep_comm=dep_comm,
+        deps_of_task=deps_of_task,
+        interner=interner,
+        pred_comms=pred_comms,
+        succ_static=succ_static,
+        indeg_static=indeg_static,
+    )

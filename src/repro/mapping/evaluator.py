@@ -90,6 +90,12 @@ class Evaluator:
         evaluation (``makespan = inf``) unless ``strict`` re-raises."""
         return self.engine.evaluate(solution, strict=strict)
 
+    def evaluate_batch(self, solution: Solution, moves, cost_function=None):
+        """Score K candidate moves against ``solution`` in one call
+        (vectorized with the array engine); see
+        :meth:`repro.mapping.engine.EvaluationEngine.evaluate_batch`."""
+        return self.engine.evaluate_batch(solution, moves, cost_function)
+
     def makespan_ms(self, solution: Solution) -> float:
         """Shortcut: longest path only (hot path of the annealer)."""
         return self.engine.makespan_ms(solution)

@@ -425,6 +425,7 @@ class RemoveResourceMove(Move):
         self._rng = rng
         self._removed: Optional[Resource] = None
         self._picked: Optional[Tuple[str, int]] = None  # replay determinism
+        self._arch_order: Optional[List[str]] = None
 
     def _singleton_resources(
         self, solution: Solution
@@ -469,6 +470,7 @@ class RemoveResourceMove(Move):
         if self._picked is None or self._picked not in candidates:
             self._picked = candidates[self._rng.randrange(len(candidates))]
         name, task = self._picked
+        self._arch_order = solution.architecture.resource_names()
         if task is not None:
             _place_on_destination(solution, task, self.dest_task, self._rng)
         self._removed = solution.detach_resource(name)
@@ -477,11 +479,29 @@ class RemoveResourceMove(Move):
         if self._removed is not None:
             solution.architecture.add_resource(self._removed)
             self._removed = None
+            # Resource enumeration order is observable (proposal draws
+            # iterate it): put the restored resource back where it was,
+            # so apply + undo is side-effect-free — speculative batched
+            # evaluation relies on that.
+            if self._arch_order is not None:
+                solution.architecture.restore_resource_order(self._arch_order)
         super().undo(solution)
 
 
 class CreateResourceMove(Move):
-    """m4: instantiate a catalog resource and move the task onto it."""
+    """m4: instantiate a catalog resource and move the task onto it.
+
+    The new resource's name is drawn from the move's own RNG on first
+    realization and cached, so apply/undo/apply replays the exact same
+    mutation (tabu and the batched annealer rely on that) and a
+    rejected or speculatively-evaluated creation leaves **no trace** in
+    the architecture — unlike a shared counter, whose advance by
+    discarded candidates would make trajectories depend on the batch
+    size.  Names stay unique across a run (different moves draw
+    different tokens), which the delta-patching engines' caches assume.
+    Without an RNG the move falls back to the architecture's
+    counter-based ``fresh_name``.
+    """
 
     name = "m4_create_resource"
 
@@ -490,16 +510,32 @@ class CreateResourceMove(Move):
         task: int,
         factory: Callable[[str], Resource],
         prefix: str = "res",
+        rng: Optional[random.Random] = None,
     ) -> None:
         super().__init__()
         self.task = task
         self.factory = factory
         self.prefix = prefix
+        self._rng = rng
+        self._name: Optional[str] = None
         self._created: Optional[str] = None
+
+    def _pick_name(self, solution: Solution) -> str:
+        arch = solution.architecture
+        if self._name is not None and self._name not in arch:
+            return self._name
+        if self._rng is None:
+            self._name = arch.fresh_name(self.prefix)
+            return self._name
+        while True:
+            candidate = f"{self.prefix}_{self._rng.getrandbits(48):012x}"
+            if candidate not in arch:
+                self._name = candidate
+                return candidate
 
     def _realize(self, solution: Solution) -> None:
         arch = solution.architecture
-        resource = self.factory(arch.fresh_name(self.prefix))
+        resource = self.factory(self._pick_name(solution))
         task = solution.application.task(self.task)
         if not isinstance(resource, Processor) and not task.hardware_capable:
             raise InfeasibleMoveError(
@@ -641,7 +677,7 @@ class MoveGenerator:
             return RemoveResourceMove(dest_task=dest - 1, rng=rng)
         if dest == 0:
             factory = self.catalog[rng.randrange(len(self.catalog))]
-            return CreateResourceMove(task=source - 1, factory=factory)
+            return CreateResourceMove(task=source - 1, factory=factory, rng=rng)
 
         vs, vd = source - 1, dest - 1
         if vs == vd:

@@ -82,6 +82,17 @@ class TestRunCase:
         result = run_case(case, BenchContext(repeats=1, warmup=0))
         assert result.evals_per_sec is None
 
+    def test_profile_dump(self):
+        case = make_case(lambda context, state: {"v": sum(range(100))})
+        result = run_case(
+            case, BenchContext(repeats=1, warmup=0), profile=True
+        )
+        assert result.profile is not None
+        assert "cumulative" in result.profile
+        # Without the flag no profiling run happens.
+        result = run_case(case, BenchContext(repeats=1, warmup=0))
+        assert result.profile is None
+
     def test_repeats_and_warmup_caps(self):
         calls = []
         case = make_case(
@@ -129,11 +140,11 @@ class TestRunSuite:
         suite_run = run_suite(
             "quick", context, pattern="throughput/tgff/12"
         )
-        assert len(suite_run.results) == 2  # full + incremental
+        assert len(suite_run.results) == 3  # full + incremental + array
         engines = {
             result.metrics["engine"] for result in suite_run.results
         }
-        assert engines == {"full", "incremental"}
+        assert engines == {"full", "incremental", "array"}
         descriptor = suite_run.scenarios["tgff/12"]
         assert descriptor["num_tasks"] == 12
         assert len(descriptor["hash"]) == 64

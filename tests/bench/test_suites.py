@@ -25,7 +25,7 @@ class TestCoverage:
             case for case in quick if case.name.startswith("throughput/")
         ]
         assert {case.name.rsplit("@", 1)[1] for case in throughput} == {
-            "full", "incremental",
+            "full", "incremental", "array",
         }
 
     def test_every_historical_script_has_a_case(self):
@@ -66,10 +66,18 @@ class TestExecution:
     def test_engines_agree_on_final_makespan(self, tiny):
         full = run_case(get_case("throughput/fork_join/24@full"), tiny)
         inc = run_case(get_case("throughput/fork_join/24@incremental"), tiny)
+        arr = run_case(get_case("throughput/fork_join/24@array"), tiny)
         assert (
             full.metrics["final_makespan_ms"]
             == inc.metrics["final_makespan_ms"]
+            == arr.metrics["final_makespan_ms"]
         ), "engine parity must hold inside the bench loop"
+
+    def test_rc_layout_micro_case(self, tiny):
+        result = run_case(get_case("micro/rc_layout_realization"), tiny)
+        assert result.metrics["evaluations"] == tiny.evals
+        assert result.metrics["flippable_tasks"] > 0
+        assert result.evals_per_sec > 0
 
     def test_combinatorics_case_exact_numbers(self, tiny):
         result = run_case(get_case("analysis/combinatorics"), tiny)

@@ -1,0 +1,145 @@
+"""Batched frontier kernels: equivalence with the scalar DPs + lanes.
+
+``batched_longest_path`` must produce bit-identical start/finish values
+to the list-based scalar DP on every lane, flag cyclic lanes as
+infeasible without deadlocking the batch, and keep lanes fully
+independent of each other.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graph.kernels import batched_longest_path, lane_makespans
+
+
+def scalar_dp(n, edges, durations):
+    """Reference: Kahn + ASAP DP over one lane's edge list."""
+    indeg = [0] * n
+    succ = [[] for _ in range(n)]
+    pred = [[] for _ in range(n)]
+    for src, dst, w in edges:
+        indeg[dst] += 1
+        succ[src].append(dst)
+        pred[dst].append((src, w))
+    order = [v for v in range(n) if indeg[v] == 0]
+    head = 0
+    while head < len(order):
+        node = order[head]
+        head += 1
+        for nxt in succ[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                order.append(nxt)
+    if len(order) != n:
+        return None, None  # cyclic
+    starts = [0.0] * n
+    finish = [0.0] * n
+    for v in order:
+        best = 0.0
+        for u, w in pred[v]:
+            candidate = finish[u] + w
+            if candidate > best:
+                best = candidate
+        if best < 0.0:
+            best = 0.0
+        starts[v] = best
+        finish[v] = best + durations[v]
+    return starts, finish
+
+
+def random_lane(rng, n):
+    """A random DAG lane: edges respect a random node permutation."""
+    perm = list(range(n))
+    rng.shuffle(perm)
+    edges = []
+    for _ in range(rng.randrange(1, 3 * n)):
+        a, b = rng.sample(range(n), 2)
+        if perm.index(a) > perm.index(b):
+            a, b = b, a
+        edges.append((a, b, rng.choice([0.0, rng.uniform(0.1, 5.0)])))
+    durations = [rng.choice([0.0, rng.uniform(0.1, 4.0)]) for _ in range(n)]
+    return edges, durations
+
+
+def pack(lanes, n):
+    """Lanes -> the kernel's flat global-id arrays."""
+    e_src, e_dst, e_w, durations = [], [], [], []
+    for k, (edges, durs) in enumerate(lanes):
+        base = k * n
+        for a, b, w in edges:
+            e_src.append(base + a)
+            e_dst.append(base + b)
+            e_w.append(w)
+        durations.extend(durs)
+    return (
+        np.asarray(e_src, dtype=np.int64),
+        np.asarray(e_dst, dtype=np.int64),
+        np.asarray(e_w),
+        np.asarray(durations),
+    )
+
+
+def test_matches_scalar_dp_on_random_lanes():
+    rng = random.Random(3)
+    n = 14
+    for _round in range(20):
+        lanes = [random_lane(rng, n) for _ in range(5)]
+        e_src, e_dst, e_w, durations = pack(lanes, n)
+        starts, finish, feasible = batched_longest_path(
+            len(lanes), n, e_src, e_dst, e_w, durations
+        )
+        assert feasible.all()
+        for k, (edges, durs) in enumerate(lanes):
+            want_starts, want_finish = scalar_dp(n, edges, durs)
+            got_starts = starts[k * n : (k + 1) * n]
+            got_finish = finish[k * n : (k + 1) * n]
+            for v in range(n):
+                assert got_starts[v] == want_starts[v], (_round, k, v)
+                assert got_finish[v] == want_finish[v], (_round, k, v)
+
+
+def test_cyclic_lane_flagged_not_deadlocked():
+    n = 4
+    acyclic = ([(0, 1, 1.0), (1, 2, 0.5)], [1.0, 1.0, 1.0, 1.0])
+    cyclic = ([(0, 1, 1.0), (1, 2, 0.0), (2, 1, 0.0)], [1.0, 1.0, 1.0, 1.0])
+    e_src, e_dst, e_w, durations = pack([acyclic, cyclic, acyclic], n)
+    starts, finish, feasible = batched_longest_path(
+        3, n, e_src, e_dst, e_w, durations
+    )
+    assert list(feasible) == [True, False, True]
+    want_starts, want_finish = scalar_dp(n, *acyclic)
+    for k in (0, 2):
+        for v in range(n):
+            assert finish[k * n + v] == want_finish[v]
+    spans = lane_makespans(finish, feasible, 3, n)
+    assert spans[0] == max(want_finish)
+    assert np.isinf(spans[1])
+    assert spans[2] == spans[0]
+
+
+def test_empty_edge_batch():
+    durations = np.asarray([1.0, 2.0, 0.5, 3.0])
+    starts, finish, feasible = batched_longest_path(
+        2, 2, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+        np.empty(0), durations,
+    )
+    assert feasible.all()
+    assert list(starts) == [0.0, 0.0, 0.0, 0.0]
+    assert list(finish) == [1.0, 2.0, 0.5, 3.0]
+
+
+def test_parallel_edges_supported():
+    n = 3
+    lane = ([(0, 1, 1.0), (0, 1, 2.0), (1, 2, 0.0)], [1.0, 1.0, 1.0])
+    e_src, e_dst, e_w, durations = pack([lane], n)
+    starts, finish, feasible = batched_longest_path(
+        1, n, e_src, e_dst, e_w, durations
+    )
+    assert feasible.all()
+    assert starts[1] == 3.0  # the heavier parallel edge wins
+    assert finish[2] == 5.0

@@ -1,0 +1,102 @@
+"""The compile pass: dense tables, id layout, NumPy views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.architecture import epicure_architecture
+from repro.mapping.compiled import CompiledInstance, compile_instance
+from repro.mapping.engine import ArrayEngine, IncrementalEngine
+from repro.model.motion import motion_detection_application
+
+
+@pytest.fixture
+def compiled(small_app, small_arch):
+    return compile_instance(small_app, small_arch.bus)
+
+
+class TestTables:
+    def test_id_layout(self, compiled, small_app):
+        """Tasks occupy [0, T), comm nodes [T, T + D) in dependency
+        order — the layout every engine's fast path assumes."""
+        assert compiled.ntasks == len(small_app)
+        assert compiled.ndeps == small_app.dag.num_edges()
+        assert compiled.tasks == list(small_app.task_indices())
+        for j in range(compiled.ndeps):
+            assert compiled.dep_comm[j] == compiled.ntasks + j
+        assert len(compiled.interner) == compiled.ntasks + compiled.ndeps
+
+    def test_durations_and_impls(self, compiled, small_app):
+        for i, t in enumerate(compiled.tasks):
+            task = small_app.task(t)
+            assert compiled.sw_ms[i] == task.sw_time_ms
+            if task.hardware_capable:
+                assert compiled.impl_ms[i] == [
+                    impl.time_ms for impl in task.implementations
+                ]
+            else:
+                assert compiled.impl_ms[i] is None
+
+    def test_transfer_times_use_the_bus(self, compiled, small_app, small_arch):
+        deps = list(small_app.dependencies())
+        for j, (_src, _dst, kbytes) in enumerate(deps):
+            assert compiled.dep_transfer[j] == (
+                small_arch.bus.transfer_time_ms(kbytes)
+            )
+
+    def test_static_layer_indegrees(self, compiled):
+        # Every comm node has exactly one static in-edge (its source);
+        # every task's static indegree is its dependency fan-in.
+        for j in range(compiled.ndeps):
+            assert compiled.indeg_static[compiled.ntasks + j] == 1
+        for i in range(compiled.ntasks):
+            assert compiled.indeg_static[i] == len(compiled.pred_comms[i])
+
+
+class TestNumpyViews:
+    def test_views_match_lists(self, compiled):
+        np = pytest.importorskip("numpy")
+        assert compiled.dep_src_np.tolist() == compiled.dep_src
+        assert compiled.dep_transfer_np.tolist() == compiled.dep_transfer
+        assert compiled.sw_ms_np.tolist() == compiled.sw_ms
+        # static edge arrays: [src -> comm] then [comm -> dst]
+        ndeps = compiled.ndeps
+        assert compiled.static_edge_src_np[:ndeps].tolist() == compiled.dep_src
+        assert (
+            compiled.static_edge_src_np[ndeps:].tolist() == compiled.dep_comm
+        )
+        assert compiled.static_edge_dst_np[:ndeps].tolist() == compiled.dep_comm
+        assert compiled.static_edge_dst_np[ndeps:].tolist() == compiled.dep_dst
+        assert compiled.static_edge_src_np is compiled.static_edge_src_np  # cached
+
+    def test_impl_matrix_padding(self, compiled):
+        np = pytest.importorskip("numpy")
+        matrix = compiled.impl_ms_matrix
+        for i, row in enumerate(compiled.impl_ms):
+            if row is None:
+                assert np.isinf(matrix[i]).all()
+            else:
+                assert matrix[i, : len(row)].tolist() == row
+                assert np.isinf(matrix[i, len(row):]).all()
+
+    def test_processor_matrix(self, compiled, small_arch):
+        matrix = compiled.processor_ms_matrix(small_arch)
+        assert matrix.shape == (1, compiled.ntasks)
+        for i in range(compiled.ntasks):
+            assert matrix[0, i] == compiled.sw_ms[i] / 1.0
+
+
+class TestEngineSharing:
+    def test_engines_consume_the_compile_pass(self, small_app, small_arch):
+        engine = IncrementalEngine(small_app, small_arch)
+        assert isinstance(engine.compiled, CompiledInstance)
+        assert engine._dep_transfer is engine.compiled.dep_transfer
+        array = ArrayEngine(small_app, small_arch)
+        assert array.compiled.ntasks == engine.compiled.ntasks
+
+    def test_motion_compiles(self):
+        app = motion_detection_application()
+        arch = epicure_architecture(2000)
+        compiled = compile_instance(app, arch.bus)
+        assert compiled.ntasks == len(app)
+        assert compiled.ndeps == app.dag.num_edges()

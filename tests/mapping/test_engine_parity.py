@@ -1,12 +1,14 @@
-"""Property test: the incremental engine is bit-identical to the full
-rebuild engine.
+"""Property test: every engine is bit-identical to the full rebuild
+reference.
 
 Replays hundreds of random accepted/rejected move sequences on random
 applications (plus the motion-detection benchmark) and asserts that
-``IncrementalEngine`` and ``FullRebuildEngine`` agree on makespan,
-feasibility and communication totals at every step — including right
-after rejected moves are undone, which is exactly the state-reversal
-pattern the incremental engine's delta-patching must survive.
+``FullRebuildEngine``, ``IncrementalEngine`` and ``ArrayEngine`` agree
+pairwise on makespan, feasibility and communication totals at every
+step — including right after rejected moves are undone, which is
+exactly the state-reversal pattern the delta-patching engines must
+survive.  The array engine's batched path is covered separately by
+``test_array_engine_batch_matches_scalar``.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.arch.reconfigurable import ReconfigurableCircuit
 from repro.errors import ConfigurationError, InfeasibleMoveError
 from repro.mapping.engine import (
     ENGINES,
+    ArrayEngine,
     FullRebuildEngine,
     IncrementalEngine,
     make_engine,
@@ -33,6 +36,14 @@ from repro.mapping.solution import random_initial_solution
 from repro.model.generator import GeneratorConfig, random_application
 from repro.model.motion import motion_detection_application
 from repro.sa.moves import MoveGenerator
+
+#: Every unordered engine pair (the replay asserts pairwise identity,
+#: so covering the pairs covers the whole equivalence class).
+ENGINE_PAIRS = [
+    ("full", "incremental"),
+    ("full", "array"),
+    ("incremental", "array"),
+]
 
 
 def _assert_same(full_ev, inc_ev, context):
@@ -45,9 +56,17 @@ def _assert_same(full_ev, inc_ev, context):
     assert full_ev == inc_ev, context
 
 
-def _replay(app, arch_factory, seed, steps, p_zero=0.0, bus_policy="ordered"):
-    """Replay one random move sequence through both engines; returns the
-    number of evaluated states."""
+def _replay(
+    app,
+    arch_factory,
+    seed,
+    steps,
+    p_zero=0.0,
+    bus_policy="ordered",
+    engines=("full", "incremental"),
+):
+    """Replay one random move sequence through an engine pair; returns
+    the number of evaluated states."""
     arch = arch_factory()
     catalog = None
     if p_zero > 0.0:
@@ -56,13 +75,13 @@ def _replay(app, arch_factory, seed, steps, p_zero=0.0, bus_policy="ordered"):
             lambda name: ReconfigurableCircuit(name, n_clbs=400, monetary_cost=2.0),
         ]
         arch.catalog = list(catalog)
-    full = Evaluator(app, arch, bus_policy, engine="full")
-    inc = Evaluator(app, arch, bus_policy, engine="incremental")
+    left = Evaluator(app, arch, bus_policy, engine=engines[0])
+    right = Evaluator(app, arch, bus_policy, engine=engines[1])
     rng = random.Random(seed)
     solution = random_initial_solution(app, arch, rng)
     gen = MoveGenerator(app, p_zero=p_zero, catalog=catalog)
 
-    _assert_same(full.evaluate(solution), inc.evaluate(solution), "initial")
+    _assert_same(left.evaluate(solution), right.evaluate(solution), "initial")
     evaluated = 1
     attempts = 0
     while evaluated < steps and attempts < steps * 20:
@@ -72,8 +91,8 @@ def _replay(app, arch_factory, seed, steps, p_zero=0.0, bus_policy="ordered"):
             move.apply(solution)
         except InfeasibleMoveError:
             continue
-        context = f"seed={seed} step={evaluated} move={move.name}"
-        _assert_same(full.evaluate(solution), inc.evaluate(solution), context)
+        context = f"seed={seed} step={evaluated} move={move.name} {engines}"
+        _assert_same(left.evaluate(solution), right.evaluate(solution), context)
         evaluated += 1
         # Metropolis-style coin: reject half the moves and make sure the
         # engines agree again after the rollback.
@@ -81,16 +100,18 @@ def _replay(app, arch_factory, seed, steps, p_zero=0.0, bus_policy="ordered"):
             move.undo(solution)
             if rng.random() < 0.3:
                 _assert_same(
-                    full.evaluate(solution),
-                    inc.evaluate(solution),
+                    left.evaluate(solution),
+                    right.evaluate(solution),
                     context + " (after undo)",
                 )
                 evaluated += 1
     return evaluated
 
 
-def test_engine_parity_on_random_move_sequences():
-    """>= 500 random accepted/rejected moves across varied instances."""
+@pytest.mark.parametrize("engines", ENGINE_PAIRS, ids=lambda p: "-vs-".join(p))
+def test_engine_parity_on_random_move_sequences(engines):
+    """>= 500 random accepted/rejected moves across varied instances,
+    per engine pair."""
     total = 0
     cases = [
         # (tasks, topology, seed, arch factory, p_zero, bus policy)
@@ -105,14 +126,54 @@ def test_engine_parity_on_random_move_sequences():
         app = random_application(
             GeneratorConfig(num_tasks=num_tasks, topology=topology), seed=seed
         )
-        total += _replay(app, arch_factory, seed * 101, 80, p_zero, bus)
+        total += _replay(
+            app, arch_factory, seed * 101, 80, p_zero, bus, engines
+        )
     assert total >= 480  # random-instance share of the >=500 target
 
 
-def test_engine_parity_on_motion_benchmark():
+@pytest.mark.parametrize("engines", ENGINE_PAIRS, ids=lambda p: "-vs-".join(p))
+def test_engine_parity_on_motion_benchmark(engines):
     app = motion_detection_application()
-    total = _replay(app, lambda: epicure_architecture(2000), seed=99, steps=120)
+    total = _replay(
+        app, lambda: epicure_architecture(2000), seed=99, steps=120,
+        engines=engines,
+    )
     assert total >= 100
+
+
+def test_array_engine_batch_matches_scalar():
+    """The batched kernel path scores candidates bit-identically to the
+    scalar engines, including infeasible application slots."""
+    app = motion_detection_application()
+    arch = epicure_architecture(2000)
+    full = Evaluator(app, arch, engine="full")
+    array = Evaluator(app, arch, engine="array")
+    array.engine.KERNEL_BATCH_MIN_WORK = 0  # force the kernel path
+    rng = random.Random(17)
+    solution = random_initial_solution(app, arch, rng)
+    gen = MoveGenerator(app)
+    compared = 0
+    for _round in range(25):
+        moves = []
+        while len(moves) < 6:
+            try:
+                moves.append(gen.propose(solution, rng))
+            except InfeasibleMoveError:
+                continue
+        batch = array.evaluate_batch(solution, moves)
+        reference = full.engine.evaluate_batch(solution, moves)
+        for k, (got, want) in enumerate(zip(batch, reference)):
+            assert (got is None) == (want is None), (k, got, want)
+            if got is None:
+                continue
+            _assert_same(want[0], got[0], f"round={_round} slot={k}")
+            compared += 1
+        try:
+            moves[0].apply(solution)  # advance the walk
+        except InfeasibleMoveError:
+            pass
+    assert compared >= 100
 
 
 def _dual_resource_arch() -> Architecture:
@@ -155,26 +216,28 @@ def test_engine_parity_strict_raises_on_cycles(small_app, small_arch):
             continue
         solution.assign_to_processor(t, "cpu")
     solution.spawn_context(3, "fpga")
-    full = Evaluator(small_app, small_arch, engine="full")
-    inc = Evaluator(small_app, small_arch, engine="incremental")
-    ev_f = full.evaluate(solution)
-    ev_i = inc.evaluate(solution)
-    assert not ev_f.feasible and not ev_i.feasible
-    assert math.isinf(ev_f.makespan_ms) and math.isinf(ev_i.makespan_ms)
-    assert full.makespan_ms(solution) == inc.makespan_ms(solution)
-    with pytest.raises(CycleError):
-        full.evaluate(solution, strict=True)
-    with pytest.raises(CycleError):
-        inc.evaluate(solution, strict=True)
+    evaluators = [
+        Evaluator(small_app, small_arch, engine=name) for name in ENGINES
+    ]
+    for evaluator in evaluators:
+        ev = evaluator.evaluate(solution)
+        assert not ev.feasible
+        assert math.isinf(ev.makespan_ms)
+        assert math.isinf(evaluator.makespan_ms(solution))
+        with pytest.raises(CycleError):
+            evaluator.evaluate(solution, strict=True)
 
 
 def test_make_engine_validates_names(small_app, small_arch):
-    assert ENGINES == ("full", "incremental")
+    assert ENGINES == ("full", "incremental", "array")
     assert isinstance(
         make_engine("full", small_app, small_arch), FullRebuildEngine
     )
     assert isinstance(
         make_engine("incremental", small_app, small_arch), IncrementalEngine
+    )
+    assert isinstance(
+        make_engine("array", small_app, small_arch), ArrayEngine
     )
     with pytest.raises(ConfigurationError):
         make_engine("warp", small_app, small_arch)

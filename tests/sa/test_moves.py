@@ -290,6 +290,56 @@ class TestArchitectureMoves:
         with pytest.raises(InfeasibleMoveError):
             move.apply(s)
 
+    def test_undo_restores_resource_order_and_fresh_counter(
+        self, small_app, small_arch, rng
+    ):
+        """apply + undo must be side-effect-free on *observable*
+        architecture state: the resource enumeration order (m3 re-adds
+        the removed resource) and the fresh-name counter (m4).
+        Speculative batched evaluation relies on this for its
+        batch-size-invariant trajectories."""
+        small_arch.add_resource(Processor("cpu2"))
+        s = Solution(small_app, small_arch)
+        for t in (0, 1, 2, 5):
+            s.assign_to_processor(t, "cpu")
+        s.assign_to_processor(3, "cpu2")
+        s.assign_to_processor(4, "cpu2")
+        # Only the (empty) fpga is removable, and it sits in the middle
+        # of the enumeration order — a plain re-add would move it last.
+        order_before = small_arch.resource_names()
+        assert order_before.index("fpga") < len(order_before) - 1
+        move = RemoveResourceMove(dest_task=4, rng=rng)
+        move.apply(s)
+        assert "fpga" not in small_arch
+        move.undo(s)
+        assert small_arch.resource_names() == order_before
+
+        counter_before = small_arch._fresh_counter
+        create = CreateResourceMove(
+            task=2, factory=lambda name: Processor(name), prefix="cpu",
+            rng=random.Random(3),
+        )
+        create.apply(s)
+        created = s.resource_name_of(2)
+        create.undo(s)
+        # RNG-drawn names leave the shared fresh-name counter untouched,
+        # and the architecture is exactly as before.
+        assert small_arch._fresh_counter == counter_before
+        assert small_arch.resource_names() == order_before
+        # Replay (tabu / batched re-acceptance) recreates the same name.
+        create.apply(s)
+        assert s.resource_name_of(2) == created
+        create.undo(s)
+        # A *different* move draws a different name: no name reuse, the
+        # uniqueness invariant the engine caches rely on.
+        other = CreateResourceMove(
+            task=2, factory=lambda name: Processor(name), prefix="cpu",
+            rng=random.Random(4),
+        )
+        other.apply(s)
+        assert s.resource_name_of(2) != created
+        other.undo(s)
+
 
 class TestMoveGenerator:
     def test_validation(self, small_app):

@@ -29,7 +29,7 @@ REPRO_SURFACE = sorted([
     "Evaluation", "Evaluator", "MakespanCost", "Schedule", "Solution",
     "SystemCost", "extract_schedule", "random_initial_solution",
     "render_gantt", "ExecutionSimulator", "SimulationResult", "simulate",
-    "ENGINES", "EvaluationEngine", "FullRebuildEngine",
+    "ENGINES", "ArrayEngine", "EvaluationEngine", "FullRebuildEngine",
     "IncrementalEngine", "make_engine",
     # annealing
     "AnnealerConfig", "DesignSpaceExplorer", "ExplorationResult",
