@@ -220,6 +220,7 @@ _ITERATION_OPTION = {
     "tabu": "iterations",
     "ga": "generations",
     "random": "samples",
+    "tempering": "iterations",
 }
 
 
@@ -241,7 +242,7 @@ def resolve_strategy(
     options: Dict[str, Any] = dict(strategy.options)
     if budget.iterations is not None:
         options[_ITERATION_OPTION[strategy.kind]] = budget.iterations
-    if strategy.kind == "sa":
+    if strategy.kind in ("sa", "tempering"):
         from repro.sa.annealer import default_warmup
 
         if budget.warmup_iterations is not None:
@@ -253,7 +254,12 @@ def resolve_strategy(
             options["warmup_iterations"] = default_warmup(budget.iterations)
         if budget.stall_limit is not None:
             options["stall_limit"] = budget.stall_limit
-    options["engine"] = engine.kind
+    # Key-minimal engine folding: a bare kind string unless tuning
+    # options are present (keeps historical checkpoint fingerprints).
+    if engine.options:
+        options["engine"] = {"kind": engine.kind, **dict(engine.options)}
+    else:
+        options["engine"] = engine.kind
     cost_function = build_cost_function(strategy.cost)
     if cost_function is not None:
         options["cost_function"] = cost_function

@@ -283,9 +283,14 @@ class StrategySpec(_SpecBase):
                     f"unknown catalog resource kind {entry.get('kind')!r}; "
                     f"known: {list(CATALOG_KINDS)}"
                 )
-        if (self.cost is not None or self.catalog) and self.kind != "sa":
+        if self.cost is not None and self.kind not in ("sa", "tempering"):
             raise ConfigurationError(
-                "cost / catalog specs apply to the 'sa' strategy only "
+                "cost specs apply to the 'sa' and 'tempering' strategies "
+                "only (the other searchers optimize raw makespan)"
+            )
+        if self.catalog and self.kind != "sa":
+            raise ConfigurationError(
+                "catalog specs apply to the 'sa' strategy only "
                 "(architecture exploration runs through the annealer)"
             )
 
@@ -322,9 +327,17 @@ class EngineSpec(_SpecBase):
     default), ``"array"`` (compiled NumPy struct-of-arrays engine with
     persistent longest-path DP and batched move evaluation) or
     ``"full"`` (reference rebuild) — bit-identical results either way
-    (engine parity is enforced by the test suite)."""
+    (engine parity is enforced by the test suite).
+
+    ``options`` holds engine tuning knobs (speed only, never behavior).
+    Currently one is accepted, for the ``array`` engine:
+    ``kernel_batch_min_work`` — the minimum ``batch_size * num_nodes``
+    at which batched move evaluation takes the fused NumPy kernel path
+    instead of the scalar loop.
+    """
 
     kind: str = "incremental"
+    options: Dict[str, Any] = field(default_factory=dict)
 
     def validate(self) -> None:
         from repro.mapping.evaluator import ENGINES
@@ -333,6 +346,23 @@ class EngineSpec(_SpecBase):
             raise ConfigurationError(
                 f"unknown engine kind {self.kind!r}; known: {sorted(ENGINES)}"
             )
+        options = _require_mapping(self.options, "EngineSpec.options")
+        _reject_unknown(
+            options, {"kernel_batch_min_work"}, "EngineSpec.options"
+        )
+        if "kernel_batch_min_work" in options:
+            if self.kind != "array":
+                raise ConfigurationError(
+                    "engine option 'kernel_batch_min_work' applies to the "
+                    f"'array' engine only, not {self.kind!r}"
+                )
+            threshold = options["kernel_batch_min_work"]
+            if not isinstance(threshold, int) or isinstance(threshold, bool) \
+                    or threshold < 0:
+                raise ConfigurationError(
+                    "engine option 'kernel_batch_min_work' must be an "
+                    f"integer >= 0, got {threshold!r}"
+                )
 
 
 # ----------------------------------------------------------------------
@@ -414,7 +444,7 @@ class ExplorationRequest(_SpecBase):
             )
         if (
             self.budget.warmup_iterations is not None
-            and self.strategy.kind != "sa"
+            and self.strategy.kind not in ("sa", "tempering")
         ):
             raise ConfigurationError(
                 f"budget warmup_iterations is an annealer knob; strategy "

@@ -90,14 +90,18 @@ def _budget_spec(args: argparse.Namespace) -> BudgetSpec:
 
 def _explore_request(args: argparse.Namespace) -> ExplorationRequest:
     keep_trace = bool(args.plot or args.trace_csv)
+    kind = getattr(args, "strategy", "sa")
+    options = {
+        "schedule_name": args.schedule,
+        "keep_trace": keep_trace,
+    }
+    if kind == "tempering":
+        options["chains"] = args.chains
     return ExplorationRequest(
         kind="single",
         application=_application_spec(args.application),
         architecture=_architecture_spec(args.architecture, args.clbs),
-        strategy=StrategySpec("sa", {
-            "schedule_name": args.schedule,
-            "keep_trace": keep_trace,
-        }),
+        strategy=StrategySpec(kind, options),
         budget=_budget_spec(args),
         engine=EngineSpec(args.engine),
         seed=args.seed,
@@ -465,6 +469,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clbs", type=int, default=2000, help="device size for the default architecture")
     p.add_argument("--schedule", default="lam",
                    choices=["lam", "modified_lam", "geometric"])
+    p.add_argument("--strategy", default="sa",
+                   choices=["sa", "tempering"],
+                   help="searcher: sa = single-chain annealer, tempering "
+                        "= population annealing with replica exchange "
+                        "(K chains batch-evaluated per round)")
+    p.add_argument("--chains", type=int, default=8,
+                   help="chain count for --strategy tempering")
     p.add_argument("--plot", action="store_true", help="ASCII Fig.2-style trace plot")
     p.add_argument("--gantt", action="store_true", help="ASCII Gantt chart")
     p.add_argument("--save", help="write the best solution JSON here")

@@ -339,3 +339,14 @@ class NodeInterner:
     def keys(self) -> List[Node]:
         """All interned keys, in id order (index == id)."""
         return list(self._keys)
+
+    def copy(self) -> "NodeInterner":
+        """Independent interner with the same id assignments.
+
+        Engines intern virtual nodes on top of the compile pass's
+        interner; forking it lets several engines grow private virtual
+        regions without ever disagreeing on the shared prefix."""
+        clone = NodeInterner()
+        clone._ids = dict(self._ids)
+        clone._keys = list(self._keys)
+        return clone

@@ -106,22 +106,21 @@ def batched_longest_path(
     np.cumsum(out_counts, out=out_indptr[1:])
 
     indeg = in_counts.copy()
-    processed = np.zeros(total, dtype=bool)
     frontier = np.nonzero(indeg == 0)[0]
     done = 0
     while frontier.size:
         done += frontier.size
-        processed[frontier] = True
         # Start times: segment max of finish[src] + w over each ready
         # node's in-edges (ready nodes' predecessors are all final).
         counts = in_counts[frontier]
-        with_preds = frontier[counts > 0]
+        has_preds = counts > 0
+        with_preds = frontier[has_preds]
         if with_preds.size:
-            cnt = counts[counts > 0]
+            cnt = counts[has_preds]
             offsets = in_indptr[with_preds]
             seg_starts = np.zeros(cnt.size, dtype=np.int64)
             np.cumsum(cnt[:-1], out=seg_starts[1:])
-            flat = np.arange(cnt.sum(), dtype=np.int64)
+            flat = np.arange(int(cnt.sum()), dtype=np.int64)
             flat += np.repeat(offsets - seg_starts, cnt)
             candidates = finish[in_src[flat]] + in_w[flat]
             best = np.maximum.reduceat(candidates, seg_starts)
@@ -129,26 +128,38 @@ def batched_longest_path(
         finish[frontier] = starts[frontier] + durations[frontier]
         # Peel the frontier's out-edges and collect newly ready nodes.
         counts = out_counts[frontier]
-        with_succs = frontier[counts > 0]
+        has_succs = counts > 0
+        with_succs = frontier[has_succs]
         if not with_succs.size:
             break
-        cnt = counts[counts > 0]
+        cnt = counts[has_succs]
         offsets = out_indptr[with_succs]
         seg_starts = np.zeros(cnt.size, dtype=np.int64)
         np.cumsum(cnt[:-1], out=seg_starts[1:])
-        flat = np.arange(cnt.sum(), dtype=np.int64)
+        flat = np.arange(int(cnt.sum()), dtype=np.int64)
         flat += np.repeat(offsets - seg_starts, cnt)
         targets = out_dst[flat]
-        # Frontier-local decrement: touching only the peeled edges'
-        # targets keeps each round O(frontier edges), not O(K * n).
-        np.subtract.at(indeg, targets, 1)
-        ready = np.unique(targets)
-        frontier = ready[indeg[ready] == 0]
+        # Frontier-local decrement via one bincount over the peeled
+        # edges' targets (cheaper than per-element ufunc.at), then the
+        # newly-ready set is every decremented node that hit zero.  A
+        # target can never be an already-processed node (that would be
+        # a back-edge), so ``indeg == 0`` identifies exactly the fresh
+        # frontier; the bincount mask dedups repeated targets without a
+        # sort.
+        lo = int(targets.min())
+        hits = np.bincount(targets - lo)
+        indeg[lo : lo + hits.size] -= hits
+        ready_mask = hits.astype(bool)
+        ready_mask &= indeg[lo : lo + hits.size] == 0
+        frontier = np.flatnonzero(ready_mask) + lo
 
     if done == total:
         feasible = np.ones(num_lanes, dtype=bool)
     else:
-        feasible = processed.reshape(num_lanes, num_nodes).all(axis=1)
+        # A node was processed iff its indegree was consumed to zero
+        # (cycle members keep a positive residual forever), so the
+        # final indegrees identify the cyclic lanes for free.
+        feasible = (indeg == 0).reshape(num_lanes, num_nodes).all(axis=1)
     return starts, finish, feasible
 
 

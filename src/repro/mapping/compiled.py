@@ -88,6 +88,43 @@ class CompiledInstance:
     _np_cache: Dict[str, Any] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
+    def fork(self) -> "CompiledInstance":
+        """A sibling view sharing every immutable table.
+
+        Engines *append* to exactly four members when they intern
+        virtual configuration nodes (:meth:`IncrementalEngine._grow_nodes`):
+        the interner and the ``pred_comms``/``succ_static``/
+        ``indeg_static`` per-node arrays.  A fork deep-copies those four
+        and aliases everything else — including the lazy ``*_np`` cache,
+        whose arrays only ever cover the immutable task/dependency
+        region — so K engines can drive K independent solutions over
+        one compile pass without re-running it or corrupting each
+        other's virtual-node regions."""
+        return CompiledInstance(
+            application=self.application,
+            bus=self.bus,
+            tasks=self.tasks,
+            tid=self.tid,
+            sw_ms=self.sw_ms,
+            impl_clbs=self.impl_clbs,
+            impl_ms=self.impl_ms,
+            pred_ids=self.pred_ids,
+            succ_ids=self.succ_ids,
+            dep_srct=self.dep_srct,
+            dep_dstt=self.dep_dstt,
+            dep_src=self.dep_src,
+            dep_dst=self.dep_dst,
+            dep_transfer=self.dep_transfer,
+            dep_comm=self.dep_comm,
+            deps_of_task=self.deps_of_task,
+            interner=self.interner.copy(),
+            pred_comms=[list(row) for row in self.pred_comms],
+            succ_static=[list(row) for row in self.succ_static],
+            indeg_static=list(self.indeg_static),
+            _np_cache=self._np_cache,
+        )
+
+    # ------------------------------------------------------------------
     @property
     def ntasks(self) -> int:
         return len(self.tasks)

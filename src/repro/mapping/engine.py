@@ -301,7 +301,17 @@ class IncrementalEngine(EvaluationEngine):
         application: Application,
         architecture: Architecture,
         bus_policy: str = "ordered",
+        compiled=None,
     ) -> None:
+        if compiled is not None and (
+            compiled.application is not application
+            or compiled.bus is not architecture.bus
+        ):
+            raise ConfigurationError(
+                "provided CompiledInstance was compiled for a different "
+                "application/bus than this engine's"
+            )
+        self._compiled_seed = compiled
         super().__init__(application, architecture, bus_policy)
         self._build_skeleton(architecture.bus)
 
@@ -314,8 +324,14 @@ class IncrementalEngine(EvaluationEngine):
         # The one compile pass (repro.mapping.compiled) flattens the
         # application + bus into the dense solution-independent tables;
         # the engine aliases them (and extends the per-node arrays in
-        # place when virtual nodes are interned later).
-        compiled = compile_instance(self.application, bus)
+        # place when virtual nodes are interned later).  A caller may
+        # hand the constructor a pre-built ``CompiledInstance.fork()``
+        # instead — that's how K cross-chain engines share one compile
+        # pass.  The seed is one-shot: a bus swap recompiles.
+        compiled = self._compiled_seed
+        self._compiled_seed = None
+        if compiled is None or compiled.bus is not bus:
+            compiled = compile_instance(self.application, bus)
         self.compiled = compiled
         self._tasks = compiled.tasks
         self._ntasks = compiled.ntasks
@@ -1450,8 +1466,38 @@ class ArrayEngine(IncrementalEngine):
     #: (12-240 tasks, K up to 48) the scalar path wins throughout —
     #: the kernels only amortize on batches of instances well beyond
     #: the paper's scale.  Set to 0 to force the kernel path (the
-    #: parity tests do).
+    #: parity tests do).  The class constant is the default; the
+    #: ``kernel_batch_min_work`` constructor knob (also settable via
+    #: ``EngineSpec`` options) overrides it per instance.
     KERNEL_BATCH_MIN_WORK = 200_000
+
+    def __init__(
+        self,
+        application: Application,
+        architecture: Architecture,
+        bus_policy: str = "ordered",
+        compiled=None,
+        kernel_batch_min_work: Optional[int] = None,
+    ) -> None:
+        if kernel_batch_min_work is not None and kernel_batch_min_work < 0:
+            raise ConfigurationError(
+                "kernel_batch_min_work must be >= 0, got "
+                f"{kernel_batch_min_work!r}"
+            )
+        self._kernel_batch_min_work = kernel_batch_min_work
+        super().__init__(application, architecture, bus_policy, compiled)
+
+    @property
+    def kernel_batch_min_work(self) -> int:
+        """The live ``lanes * nodes`` threshold below which
+        ``evaluate_batch`` routes through the scalar persistent DP
+        (instance override, else :data:`KERNEL_BATCH_MIN_WORK`)."""
+        override = self._kernel_batch_min_work
+        return self.KERNEL_BATCH_MIN_WORK if override is None else override
+
+    @kernel_batch_min_work.setter
+    def kernel_batch_min_work(self, value: Optional[int]) -> None:
+        self._kernel_batch_min_work = value
 
     # ------------------------------------------------------------------
     # state management
@@ -2245,7 +2291,7 @@ class ArrayEngine(IncrementalEngine):
             cost_function, "solution_independent", False
         ):
             return super().evaluate_batch(solution, moves, cost_function)
-        if len(moves) * len(self._interner) < self.KERNEL_BATCH_MIN_WORK:
+        if len(moves) * len(self._interner) < self.kernel_batch_min_work:
             return super().evaluate_batch(solution, moves, cost_function)
         lanes: List[Optional[_Lane]] = []
         for move in moves:
@@ -2398,21 +2444,181 @@ class ArrayEngine(IncrementalEngine):
         return results
 
 
+class CrossChainEvaluator:
+    """K per-chain engines over one compile pass, scored in one batch.
+
+    The population annealer (:class:`repro.sa.population.PopulationAnnealer`)
+    runs K independent chains, each with its own
+    :class:`~repro.mapping.solution.Solution`.  Re-pointing one
+    stateful engine across K solutions every round would defeat the
+    incremental mirror (each sync would diff away the previous chain's
+    whole assignment), so each chain gets a permanently-bound engine of
+    its own and pays only its own chain's delta.  For the stateful
+    engines the compile pass is shared: chain 0 compiles, chains 1..K-1
+    receive :meth:`CompiledInstance.fork` views, so construction stays
+    O(compile + K · mirror) instead of O(K · compile).
+
+    ``evaluate_moves`` is the cross-chain hot path: apply each chain's
+    proposed move, capture the chain as a dense lane, undo, then score
+    *all* lanes through one fused :meth:`ArrayEngine._evaluate_lanes`
+    pass (two ``batched_longest_path`` dispatches for the whole
+    population).  Unlike the intra-neighborhood batch path this never
+    consults :data:`ArrayEngine.KERNEL_BATCH_MIN_WORK` — cross-chain
+    lanes are always dense, which is the whole point.  Non-array
+    engines (and solution-dependent cost functions) fall back to the
+    per-chain scalar ``evaluate_batch``, bit-identical by engine parity.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        architecture: Architecture,
+        chains: int,
+        engine: str = "array",
+        bus_policy: str = "ordered",
+    ) -> None:
+        if chains < 1:
+            raise ConfigurationError(
+                f"chains must be >= 1, got {chains!r}"
+            )
+        self.application = application
+        self.architecture = architecture
+        self.kind = engine["kind"] if isinstance(engine, dict) else engine
+        self.bus_policy = bus_policy
+        first = make_engine(engine, application, architecture, bus_policy)
+        engines: List[EvaluationEngine] = [first]
+        compiled = getattr(first, "compiled", None)
+        for _ in range(1, chains):
+            if compiled is None:
+                engines.append(
+                    make_engine(engine, application, architecture, bus_policy)
+                )
+                continue
+            kwargs = {"compiled": compiled.fork()}
+            if isinstance(first, ArrayEngine):
+                kwargs["kernel_batch_min_work"] = first._kernel_batch_min_work
+            engines.append(
+                type(first)(application, architecture, bus_policy, **kwargs)
+            )
+        self.engines = engines
+
+    # ------------------------------------------------------------------
+    @property
+    def chains(self) -> int:
+        return len(self.engines)
+
+    @property
+    def evaluations(self) -> int:
+        """Total candidate evaluations across all chains."""
+        return sum(engine.evaluations for engine in self.engines)
+
+    def evaluate(self, chain: int, solution: Solution) -> Evaluation:
+        """Scalar evaluation of one chain's current state."""
+        return self.engines[chain].evaluate(solution)
+
+    # ------------------------------------------------------------------
+    def evaluate_moves(
+        self,
+        solutions: Sequence[Solution],
+        moves: Sequence,
+        cost_function=None,
+    ) -> List[Optional[Tuple[Evaluation, Optional[float]]]]:
+        """Score chain k's proposed move against chain k's state, for
+        all chains at once.  ``moves[k]`` may be ``None`` (no proposal
+        this round); the k-th result is then ``None``, as it is when the
+        move's application raises :class:`InfeasibleMoveError`.  Every
+        solution is left exactly as it came in — accepted moves replay
+        their cached decisions on re-apply."""
+        if len(solutions) != len(self.engines) or len(moves) != len(
+            self.engines
+        ):
+            raise ConfigurationError(
+                f"expected {len(self.engines)} solutions and moves, got "
+                f"{len(solutions)} and {len(moves)}"
+            )
+        batched = self.kind == "array" and (
+            cost_function is None
+            or getattr(cost_function, "solution_independent", False)
+        )
+        if not batched:
+            results: List[Optional[Tuple[Evaluation, Optional[float]]]] = []
+            for engine, solution, move in zip(self.engines, solutions, moves):
+                if move is None:
+                    results.append(None)
+                    continue
+                results.append(
+                    engine.evaluate_batch(solution, [move], cost_function)[0]
+                )
+            return results
+        lanes: List[Optional[_Lane]] = []
+        for engine, solution, move in zip(self.engines, solutions, moves):
+            if move is None:
+                lanes.append(None)
+                continue
+            try:
+                move.apply(solution)
+            except InfeasibleMoveError:
+                lanes.append(None)
+                continue
+            try:
+                lanes.append(engine._capture_lane(solution))
+            finally:
+                move.undo(solution)
+        # All forks share the dependency tables the lane scorer reads,
+        # so chain 0's engine can score every chain's lane in one fused
+        # kernel pass (lanes are padded to the widest interner).
+        evaluations = iter(
+            self.engines[0]._evaluate_lanes(
+                [lane for lane in lanes if lane is not None]
+            )
+        )
+        results = []
+        for solution, lane in zip(solutions, lanes):
+            if lane is None:
+                results.append(None)
+                continue
+            evaluation = next(evaluations)
+            cost = (
+                cost_function(solution, evaluation)
+                if cost_function is not None
+                else None
+            )
+            results.append((evaluation, cost))
+        return results
+
+
 def make_engine(
-    name: str,
+    name,
     application: Application,
     architecture: Architecture,
     bus_policy: str = "ordered",
 ) -> EvaluationEngine:
     """Instantiate an evaluation engine by name (``"full"``,
     ``"incremental"`` or ``"array"``); raises
-    :class:`ConfigurationError` otherwise."""
+    :class:`ConfigurationError` otherwise.  ``name`` may also be a
+    mapping ``{"kind": <name>, **options}`` — currently the only option
+    is the array engine's ``kernel_batch_min_work`` threshold."""
+    options: Dict[str, object] = {}
+    if isinstance(name, dict):
+        options = dict(name)
+        name = options.pop("kind", None)
+    unknown = set(options) - {"kernel_batch_min_work"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engine option(s) {sorted(unknown)}; "
+            "accepted: ['kernel_batch_min_work']"
+        )
+    if "kernel_batch_min_work" in options and name != "array":
+        raise ConfigurationError(
+            "kernel_batch_min_work applies to the 'array' engine only, "
+            f"got engine {name!r}"
+        )
     if name == "full":
         return FullRebuildEngine(application, architecture, bus_policy)
     if name == "incremental":
         return IncrementalEngine(application, architecture, bus_policy)
     if name == "array":
-        return ArrayEngine(application, architecture, bus_policy)
+        return ArrayEngine(application, architecture, bus_policy, **options)
     raise ConfigurationError(
         f"engine must be one of {ENGINES}, got {name!r}"
     )

@@ -1,7 +1,7 @@
 """Strategy portfolio: race every searcher on one instance.
 
 The paper argues its adaptive annealer needs no tuning; the cheapest way
-to test that claim on a *new* instance is to race all five strategies
+to test that claim on a *new* instance is to race every strategy kind
 under one evaluation budget and look at the scoreboard.  The portfolio
 gives each strategy a seed derived from one base seed, fans the runs out
 through the parallel runner, and reports the winner.
@@ -31,12 +31,15 @@ from repro.search.runner import (
 )
 from repro.search.strategy import SearchResult
 
-#: Default racers, in scoreboard tie-break order.
-PORTFOLIO_KINDS = ("sa", "tabu", "hill_climber", "ga", "random")
+#: Default racers, in scoreboard tie-break order.  New kinds append at
+#: the end: seeds are dealt by position, so insertion in the middle
+#: would re-deal every later strategy's seed.
+PORTFOLIO_KINDS = ("sa", "tabu", "hill_climber", "ga", "random", "tempering")
 
 _TABU_CANDIDATES = 6
 _GA_POPULATION = 50
 _RANDOM_FRACTION = 10  # evaluations per random sample vs per SA iteration
+_TEMPERING_CHAINS = 4
 
 
 @dataclass
@@ -90,6 +93,19 @@ def _portfolio_specs(
         elif kind == "random":
             options = {
                 "samples": max(1, iterations // _RANDOM_FRACTION),
+                "engine": engine,
+            }
+        elif kind == "tempering":
+            # K chains score K moves per round, so the round budget is
+            # iterations / K to stay evaluation-normalized with SA.
+            rounds = max(1, iterations // _TEMPERING_CHAINS)
+            options = {
+                "chains": _TEMPERING_CHAINS,
+                "iterations": rounds,
+                "warmup_iterations": min(
+                    max(1, warmup_iterations // _TEMPERING_CHAINS),
+                    max(0, rounds - 1),
+                ),
                 "engine": engine,
             }
         else:

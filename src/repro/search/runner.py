@@ -203,6 +203,12 @@ KNOWN_OPTIONS: Dict[str, frozenset] = {
         "engine",
     }),
     "random": frozenset({"samples", "bus_policy", "engine"}),
+    "tempering": frozenset({
+        "chains", "iterations", "warmup_iterations", "swap_interval",
+        "ladder_ratio", "schedule_name", "schedule_kwargs", "p_impl",
+        "bus_policy", "keep_trace", "stall_limit", "initial_hw_fraction",
+        "engine", "cost_function",
+    }),
 }
 
 
@@ -212,6 +218,14 @@ def _build_sa(application, architecture, seed, options) -> SearchStrategy:
     kwargs = dict(options)
     kwargs.setdefault("keep_trace", False)
     return DesignSpaceExplorer(application, architecture, seed=seed, **kwargs)
+
+
+def _build_tempering(application, architecture, seed, options) -> SearchStrategy:
+    from repro.sa.population import PopulationAnnealer
+
+    kwargs = dict(options)
+    kwargs.setdefault("keep_trace", False)
+    return PopulationAnnealer(application, architecture, seed=seed, **kwargs)
 
 
 def _move_generator(application, options):
@@ -302,6 +316,7 @@ STRATEGY_KINDS = {
     "tabu": _build_tabu,
     "ga": _build_ga,
     "random": _build_random,
+    "tempering": _build_tempering,
 }
 
 

@@ -155,9 +155,20 @@ class TestStrategySpec:
         with pytest.raises(ConfigurationError, match="cost kind"):
             StrategySpec("sa", cost={"kind": "latency"}).validate()
 
-    def test_cost_on_non_sa_rejected(self):
-        with pytest.raises(ConfigurationError, match="'sa' strategy only"):
+    def test_cost_on_non_annealer_rejected(self):
+        with pytest.raises(ConfigurationError, match="'sa' and 'tempering'"):
             StrategySpec("ga", cost={"kind": "makespan"}).validate()
+
+    def test_cost_on_tempering_accepted(self):
+        StrategySpec("tempering", cost={"kind": "makespan"}).validate()
+
+    def test_catalog_on_tempering_rejected(self):
+        # chains share one Architecture object; architecture-exploration
+        # moves would cross-contaminate them
+        with pytest.raises(ConfigurationError, match="'sa' strategy only"):
+            StrategySpec(
+                "tempering", catalog=({"kind": "processor"},)
+            ).validate()
 
     def test_unknown_catalog_kind(self):
         with pytest.raises(ConfigurationError, match="catalog resource"):

@@ -1,0 +1,188 @@
+"""Cross-chain evaluator and engine-option plumbing.
+
+Covers the pieces the population annealer stands on: compiled-instance
+forking, the ``kernel_batch_min_work`` engine option (constructor,
+spec-dict form, rejection cases, fork propagation) and the
+batched-vs-fallback parity of ``CrossChainEvaluator.evaluate_moves``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapping.compiled import compile_instance
+from repro.mapping.engine import (
+    ArrayEngine,
+    CrossChainEvaluator,
+    make_engine,
+)
+from repro.mapping.cost import MakespanCost
+from repro.mapping.solution import random_initial_solution
+from repro.sa.moves import MoveGenerator
+
+
+def _bus(architecture):
+    return architecture.bus
+
+
+class TestCompiledFork:
+    def test_fork_shares_immutable_tables(self, small_app, small_arch):
+        compiled = compile_instance(small_app, _bus(small_arch))
+        fork = compiled.fork()
+        assert fork.dep_src is compiled.dep_src
+        assert fork.sw_ms is compiled.sw_ms
+        assert fork.pred_ids is compiled.pred_ids
+        assert fork._np_cache is compiled._np_cache
+
+    def test_fork_isolates_virtual_node_growth(self, small_app, small_arch):
+        compiled = compile_instance(small_app, _bus(small_arch))
+        fork = compiled.fork()
+        assert len(fork.interner) == len(compiled.interner)
+        fork.interner.intern(("virtual", 0))
+        fork.pred_comms.append([])
+        assert len(fork.interner) == len(compiled.interner) + 1
+        assert len(fork.pred_comms) == len(compiled.pred_comms) + 1
+
+
+class TestKernelBatchMinWorkOption:
+    def test_constructor_option_wins_over_class_default(
+        self, small_app, small_arch
+    ):
+        engine = ArrayEngine(
+            small_app, small_arch, kernel_batch_min_work=123
+        )
+        assert engine.kernel_batch_min_work == 123
+        assert ArrayEngine.KERNEL_BATCH_MIN_WORK != 123
+
+    def test_default_falls_back_to_class_attribute(
+        self, small_app, small_arch
+    ):
+        engine = ArrayEngine(small_app, small_arch)
+        assert (
+            engine.kernel_batch_min_work == ArrayEngine.KERNEL_BATCH_MIN_WORK
+        )
+
+    def test_spec_dict_builds_configured_engine(self, small_app, small_arch):
+        engine = make_engine(
+            {"kind": "array", "kernel_batch_min_work": 77},
+            small_app, small_arch,
+        )
+        assert isinstance(engine, ArrayEngine)
+        assert engine.kernel_batch_min_work == 77
+
+    def test_unknown_engine_option_rejected(self, small_app, small_arch):
+        with pytest.raises(ConfigurationError, match="turbo_mode"):
+            make_engine(
+                {"kind": "array", "turbo_mode": True}, small_app, small_arch
+            )
+
+    def test_option_on_scalar_engine_rejected(self, small_app, small_arch):
+        with pytest.raises(ConfigurationError, match="array"):
+            make_engine(
+                {"kind": "incremental", "kernel_batch_min_work": 5},
+                small_app, small_arch,
+            )
+
+    def test_forked_chain_engines_inherit_the_option(
+        self, small_app, small_arch
+    ):
+        evaluator = CrossChainEvaluator(
+            small_app, small_arch, 3,
+            engine={"kind": "array", "kernel_batch_min_work": 55},
+        )
+        assert [e.kernel_batch_min_work for e in evaluator.engines] == (
+            [55, 55, 55]
+        )
+
+
+class TestCrossChainEvaluator:
+    def _population(self, app, arch, engine, chains=3, seed=41):
+        evaluator = CrossChainEvaluator(app, arch, chains, engine=engine)
+        solutions = [
+            random_initial_solution(app, arch, random.Random(seed + c))
+            for c in range(chains)
+        ]
+        for c in range(chains):
+            evaluator.evaluate(c, solutions[c])
+        return evaluator, solutions
+
+    def _moves(self, app, solutions, seed=7):
+        generator = MoveGenerator(app, p_impl=0.2)
+        rng = random.Random(seed)
+        moves = []
+        for solution in solutions:
+            try:
+                moves.append(generator.propose(solution, rng))
+            except Exception:
+                moves.append(None)
+        return moves
+
+    def test_rejects_wrong_arity(self, small_app, small_arch):
+        evaluator, solutions = self._population(
+            small_app, small_arch, "array"
+        )
+        with pytest.raises(ConfigurationError, match="expected 3"):
+            evaluator.evaluate_moves(solutions[:2], [None, None])
+
+    def test_batched_path_matches_scalar_fallback(
+        self, small_app, small_arch
+    ):
+        cost = MakespanCost()
+        batched_ev, batched_sols = self._population(
+            small_app, small_arch, "array"
+        )
+        scalar_ev, scalar_sols = self._population(
+            small_app, small_arch, "full"
+        )
+        for round_seed in range(5):
+            moves_a = self._moves(small_app, batched_sols, seed=round_seed)
+            moves_b = self._moves(small_app, scalar_sols, seed=round_seed)
+            got = batched_ev.evaluate_moves(batched_sols, moves_a, cost)
+            want = scalar_ev.evaluate_moves(scalar_sols, moves_b, cost)
+            assert [
+                None if r is None else r[1] for r in got
+            ] == [
+                None if r is None else r[1] for r in want
+            ]
+
+    def test_solutions_left_untouched(self, small_app, small_arch):
+        evaluator, solutions = self._population(
+            small_app, small_arch, "array"
+        )
+        before = [
+            evaluator.evaluate(c, solutions[c]).makespan_ms
+            for c in range(3)
+        ]
+        moves = self._moves(small_app, solutions)
+        evaluator.evaluate_moves(solutions, moves, MakespanCost())
+        after = [
+            evaluator.evaluate(c, solutions[c]).makespan_ms
+            for c in range(3)
+        ]
+        assert before == after
+
+    def test_none_moves_yield_none_results(self, small_app, small_arch):
+        evaluator, solutions = self._population(
+            small_app, small_arch, "array"
+        )
+        results = evaluator.evaluate_moves(
+            solutions, [None] * 3, MakespanCost()
+        )
+        assert results == [None, None, None]
+
+    def test_evaluations_accumulate_across_chains(
+        self, small_app, small_arch
+    ):
+        evaluator, solutions = self._population(
+            small_app, small_arch, "array"
+        )
+        before = evaluator.evaluations
+        moves = self._moves(small_app, solutions)
+        results = evaluator.evaluate_moves(solutions, moves, MakespanCost())
+        scored = sum(1 for r in results if r is not None)
+        assert evaluator.evaluations == before + scored
+
+    def test_rejects_zero_chains(self, small_app, small_arch):
+        with pytest.raises(ConfigurationError, match="chains"):
+            CrossChainEvaluator(small_app, small_arch, 0)

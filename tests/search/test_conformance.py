@@ -1,4 +1,4 @@
-"""Strategy-layer conformance: one harness, all five searchers.
+"""Strategy-layer conformance: one harness, every searcher.
 
 Every strategy must return a :class:`SearchResult` whose invariants
 hold regardless of how the search works internally:
@@ -67,12 +67,22 @@ def make_random(app, arch, seed, engine):
     return RandomSearch(app, arch, samples=40, seed=seed, engine=engine)
 
 
+def make_tempering(app, arch, seed, engine):
+    from repro.sa.population import PopulationAnnealer
+
+    return PopulationAnnealer(
+        app, arch, chains=3, iterations=ITERATIONS // 3,
+        warmup_iterations=10, seed=seed, swap_interval=5, engine=engine,
+    )
+
+
 FACTORIES = {
     "sa": make_sa,
     "hill_climber": make_hill,
     "tabu": make_tabu,
     "ga": make_ga,
     "random": make_random,
+    "tempering": make_tempering,
 }
 
 strategies = pytest.mark.parametrize("kind", sorted(FACTORIES))
