@@ -330,10 +330,13 @@ class EngineSpec(_SpecBase):
     (engine parity is enforced by the test suite).
 
     ``options`` holds engine tuning knobs (speed only, never behavior).
-    Currently one is accepted, for the ``array`` engine:
+    Two are accepted, both for the ``array`` engine:
     ``kernel_batch_min_work`` — the minimum ``batch_size * num_nodes``
     at which batched move evaluation takes the fused NumPy kernel path
-    instead of the scalar loop.
+    instead of the scalar loop — and ``dispatch`` —
+    ``"auto"`` (default; pick per call site from the compiled graph's
+    level statistics), ``"kernel"`` (force the fused lane kernels) or
+    ``"scalar"`` (force the persistent scalar DP).
     """
 
     kind: str = "incremental"
@@ -348,20 +351,31 @@ class EngineSpec(_SpecBase):
             )
         options = _require_mapping(self.options, "EngineSpec.options")
         _reject_unknown(
-            options, {"kernel_batch_min_work"}, "EngineSpec.options"
+            options,
+            {"kernel_batch_min_work", "dispatch"},
+            "EngineSpec.options",
         )
+        if options and self.kind != "array":
+            raise ConfigurationError(
+                f"engine option(s) {sorted(options)} apply to the "
+                f"'array' engine only, not {self.kind!r}"
+            )
         if "kernel_batch_min_work" in options:
-            if self.kind != "array":
-                raise ConfigurationError(
-                    "engine option 'kernel_batch_min_work' applies to the "
-                    f"'array' engine only, not {self.kind!r}"
-                )
             threshold = options["kernel_batch_min_work"]
             if not isinstance(threshold, int) or isinstance(threshold, bool) \
                     or threshold < 0:
                 raise ConfigurationError(
                     "engine option 'kernel_batch_min_work' must be an "
                     f"integer >= 0, got {threshold!r}"
+                )
+        if "dispatch" in options:
+            from repro.mapping.engine import ArrayEngine
+
+            mode = options["dispatch"]
+            if mode not in ArrayEngine.DISPATCH_MODES:
+                raise ConfigurationError(
+                    "engine option 'dispatch' must be one of "
+                    f"{list(ArrayEngine.DISPATCH_MODES)}, got {mode!r}"
                 )
 
 

@@ -32,6 +32,7 @@ from typing import (
 from repro.bench.corpus import CORPUS, Scenario, get_scenario, scenario_hash
 from repro.errors import ConfigurationError, InfeasibleMoveError
 from repro.io import ProblemInstance
+from repro.mapping.compiled import compile_instance
 from repro.mapping.evaluator import Evaluator
 from repro.mapping.solution import random_initial_solution
 from repro.sa.moves import MoveGenerator
@@ -404,6 +405,15 @@ def move_eval_loop(
         "final_makespan_ms": makespan,
         "engine": engine,
     }
+    compiled = getattr(evaluator.engine, "compiled", None)
+    if compiled is None:
+        compiled = compile_instance(application, architecture.bus)
+    # Static graph shape from the compile pass: the depth-aware
+    # dispatcher keys off these (deep/narrow graphs ride the scalar
+    # persistent path, shallow/wide ones the fused kernels), so the
+    # report records them next to every throughput number.
+    out["depth"] = compiled.depth
+    out["mean_level_width"] = compiled.mean_level_width
     if time_evals_only:
         out["eval_elapsed_s"] = elapsed
     return out

@@ -22,6 +22,7 @@ scripts used to print.
 
 from __future__ import annotations
 
+import math
 import os
 import random
 import time
@@ -68,6 +69,7 @@ from repro.graph.dag import Dag
 from repro.graph.generators import layered
 from repro.graph.longest_path import longest_path_length
 from repro.graph.maxplus import MaxPlusClosure
+from repro.mapping.compiled import compile_instance
 from repro.mapping.cost import SystemCost
 from repro.mapping.evaluator import Evaluator
 from repro.mapping.solution import random_initial_solution
@@ -219,6 +221,9 @@ def _register_tempering_cases() -> None:
                 context.seed,
             )
             steps = result.iterations_run * _chains
+            compiled = compile_instance(
+                state.application, state.architecture.bus
+            )
             return {
                 "chains": _chains,
                 "rounds": result.iterations_run,
@@ -227,6 +232,8 @@ def _register_tempering_cases() -> None:
                 "swap_attempts": result.extras["swap_attempts"],
                 "swap_accepts": result.extras["swap_accepts"],
                 "evaluations": result.evaluations,
+                "depth": compiled.depth,
+                "mean_level_width": compiled.mean_level_width,
             }
 
         bench_case(
@@ -251,41 +258,54 @@ def _population_vs_sequential(
 ) -> Dict[str, Any]:
     """K=8 cross-batched chains vs 8 sequential scalar SA chains.
 
-    Records the honest aggregate chain-steps/sec of the fused K-lane
-    kernel path against both scalar baselines (full rebuild and
-    incremental delta repair) at an identical per-chain round budget.
-    The measured ratios document the depth-bound finding: on the deep
-    serialized tgff graphs the kernel's per-frontier dispatch cost is
-    paid per topological level, so dense cross-chain lanes do not beat
-    per-chain delta repair (see README, Performance notes).
+    Records the aggregate chain-steps/sec of the population annealer's
+    persistent per-chain delta path (apply → delta-sync → read the
+    makespan, commit-on-accept) against both sequential baselines (full
+    rebuild and incremental delta repair) at an identical per-chain
+    round budget.  The depth-aware dispatcher routes these deep/narrow
+    graphs (tgff/120: mean level width ~10.7 over 29 static levels)
+    onto the scalar persistent path — the fused K-lane kernels, which
+    pay their dispatch cost once per topological level, only win on
+    shallow/wide graphs (see README, Performance notes).  Each path
+    reports the best of two identically-seeded timed runs, damping
+    scheduler noise symmetrically.
     """
     chains = 8
     rounds = max(10, context.iterations // chains)
     warmup = max(1, rounds // 4)
     application, architecture = state.application, state.architecture
 
-    result, elapsed = _population_run(
-        application, architecture, chains, rounds, context.seed,
-    )
-    steps = result.iterations_run * chains
-    population_sps = steps / max(elapsed, 1e-9)
-
+    population_sps = 0.0
+    best_cost = math.inf
+    result = None
+    for _ in range(2):
+        result, elapsed = _population_run(
+            application, architecture, chains, rounds, context.seed,
+        )
+        steps = result.iterations_run * chains
+        population_sps = max(population_sps, steps / max(elapsed, 1e-9))
+        best_cost = result.best_cost  # identical seeds: same result
     sequential_sps = {}
     for engine in ("full", "incremental"):
-        explorers = [
-            DesignSpaceExplorer(
-                application, architecture, iterations=rounds,
-                warmup_iterations=warmup, seed=context.seed + c,
-                engine=engine, keep_trace=False,
+        best_sps = 0.0
+        for _ in range(2):
+            explorers = [
+                DesignSpaceExplorer(
+                    application, architecture, iterations=rounds,
+                    warmup_iterations=warmup, seed=context.seed + c,
+                    engine=engine, keep_trace=False,
+                )
+                for c in range(chains)
+            ]
+            started = time.perf_counter()
+            run_steps = sum(e.search().iterations_run for e in explorers)
+            best_sps = max(
+                best_sps,
+                run_steps / max(time.perf_counter() - started, 1e-9),
             )
-            for c in range(chains)
-        ]
-        started = time.perf_counter()
-        run_steps = sum(e.search().iterations_run for e in explorers)
-        sequential_sps[engine] = run_steps / max(
-            time.perf_counter() - started, 1e-9
-        )
+        sequential_sps[engine] = best_sps
 
+    compiled = compile_instance(application, architecture.bus)
     return {
         "chains": chains,
         "rounds": result.iterations_run,
@@ -298,7 +318,9 @@ def _population_vs_sequential(
         "speedup_vs_incremental": (
             population_sps / sequential_sps["incremental"]
         ),
-        "best_cost": result.best_cost,
+        "best_cost": best_cost,
+        "depth": compiled.depth,
+        "mean_level_width": compiled.mean_level_width,
         "report": (
             f"cross-chain batched annealing, K={chains}, "
             f"{rounds} rounds (tgff/120)\n"

@@ -88,6 +88,16 @@ def _budget_spec(args: argparse.Namespace) -> BudgetSpec:
     )
 
 
+def _engine_spec(args: argparse.Namespace) -> EngineSpec:
+    """``--engine`` plus the optional ``--dispatch`` tuning knob, folded
+    into the spec-layer options (key-minimal: absent unless given)."""
+    options = {}
+    dispatch = getattr(args, "dispatch", None)
+    if dispatch is not None:
+        options["dispatch"] = dispatch
+    return EngineSpec(args.engine, options)
+
+
 def _explore_request(args: argparse.Namespace) -> ExplorationRequest:
     keep_trace = bool(args.plot or args.trace_csv)
     kind = getattr(args, "strategy", "sa")
@@ -103,7 +113,7 @@ def _explore_request(args: argparse.Namespace) -> ExplorationRequest:
         architecture=_architecture_spec(args.architecture, args.clbs),
         strategy=StrategySpec(kind, options),
         budget=_budget_spec(args),
-        engine=EngineSpec(args.engine),
+        engine=_engine_spec(args),
         seed=args.seed,
     )
 
@@ -114,7 +124,7 @@ def _sweep_request(args: argparse.Namespace) -> ExplorationRequest:
         application=_application_spec(args.application),
         strategy=StrategySpec("sa", {"keep_trace": False}),
         budget=_budget_spec(args),
-        engine=EngineSpec(args.engine),
+        engine=_engine_spec(args),
         seed=args.seed,
         runs=args.runs,
         sizes=tuple(int(s) for s in args.sizes.split(",")),
@@ -127,7 +137,7 @@ def _portfolio_request(args: argparse.Namespace) -> ExplorationRequest:
         application=_application_spec(args.application),
         architecture=_architecture_spec(args.architecture, args.clbs),
         budget=_budget_spec(args),
-        engine=EngineSpec(args.engine),
+        engine=_engine_spec(args),
         seed=args.seed,
     )
 
@@ -446,6 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "struct-of-arrays engine, incremental = "
                             "delta-patching fast path, full = reference "
                             "rebuild; makespans are bit-identical)")
+        p.add_argument("--dispatch", default=None,
+                       choices=["auto", "kernel", "scalar"],
+                       help="array-engine batch dispatch: auto picks "
+                            "from the compiled graph's level stats, "
+                            "kernel forces the fused NumPy lanes, "
+                            "scalar forces the persistent delta path "
+                            "(results are bit-identical)")
         p.add_argument("--json", action="store_true",
                        help="print the machine-readable response envelope")
 

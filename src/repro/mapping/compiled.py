@@ -85,6 +85,15 @@ class CompiledInstance:
     succ_static: List[List[int]]
     indeg_static: List[int]
 
+    #: Graph-shape statistics of the static ``src -> comm -> dst`` DAG:
+    #: number of topological levels (Kahn frontier waves) and the mean
+    #: nodes-per-level.  Solution-independent lower bound on the depth
+    #: of any annealed serialization — deep/narrow instances cannot
+    #: amortize per-level NumPy dispatch, which is what the
+    #: depth-aware engine dispatcher keys on.
+    depth: int = 1
+    mean_level_width: float = 1.0
+
     _np_cache: Dict[str, Any] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -121,6 +130,8 @@ class CompiledInstance:
             pred_comms=[list(row) for row in self.pred_comms],
             succ_static=[list(row) for row in self.succ_static],
             indeg_static=list(self.indeg_static),
+            depth=self.depth,
+            mean_level_width=self.mean_level_width,
             _np_cache=self._np_cache,
         )
 
@@ -309,6 +320,26 @@ def compile_instance(application: Application, bus) -> CompiledInstance:
         indeg_static[c] += 1
         indeg_static[d] += 1
 
+    # Level structure of the static DAG: one Kahn BFS over the permanent
+    # wiring.  The application layer guarantees acyclicity, so every node
+    # is consumed and ``depth`` counts the frontier waves exactly.
+    indeg = list(indeg_static)
+    frontier = [v for v in range(n) if indeg[v] == 0]
+    depth = 0
+    visited = 0
+    while frontier:
+        depth += 1
+        visited += len(frontier)
+        nxt: List[int] = []
+        for v in frontier:
+            for w in succ_static[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    nxt.append(w)
+        frontier = nxt
+    assert visited == n, "static dependency layer must be acyclic"
+    depth = max(depth, 1)
+
     return CompiledInstance(
         application=application,
         bus=bus,
@@ -330,4 +361,6 @@ def compile_instance(application: Application, bus) -> CompiledInstance:
         pred_comms=pred_comms,
         succ_static=succ_static,
         indeg_static=indeg_static,
+        depth=depth,
+        mean_level_width=n / depth,
     )

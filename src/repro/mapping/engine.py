@@ -194,6 +194,69 @@ class EvaluationEngine(ABC):
                 move.undo(solution)
         return results
 
+    # ------------------------------------------------------------------
+    # transactional single-move evaluation (the population hot path)
+    # ------------------------------------------------------------------
+    def propose_move(
+        self,
+        solution: Solution,
+        move,
+        cost_function=None,
+    ) -> Optional[Tuple[Evaluation, Optional[float]]]:
+        """Apply ``move``, score the candidate, and leave it **applied**.
+
+        The persistent-delta counterpart of one ``evaluate_batch`` slot:
+        the move is applied, the engine delta-syncs to the candidate and
+        scores it, and control returns with the move still in force.
+        The caller must finish the transaction with exactly one of
+        :meth:`accept_move` (keep the candidate — the engine state is
+        already synced, no undo/re-apply/re-diff anywhere) or
+        :meth:`reject_move` (undo the move; the engine's next delta-sync
+        absorbs the reverse patch in O(delta)).
+
+        Returns ``None`` when the move's application raises
+        :class:`InfeasibleMoveError` — the move was never applied and
+        there is no transaction to resolve.  ``cost`` is computed while
+        the move is applied, exactly like the reference batch loop.
+        Results are bit-identical to ``evaluate_batch([move])`` followed
+        by a re-apply: moves replay their cached decisions, and every
+        engine's evaluation is a pure function of the candidate state.
+        """
+        try:
+            move.apply(solution)
+        except InfeasibleMoveError:
+            return None
+        try:
+            evaluation = self.evaluate(solution)
+            cost = (
+                cost_function(solution, evaluation)
+                if cost_function is not None
+                else None
+            )
+        except Exception:
+            move.undo(solution)
+            raise
+        return (evaluation, cost)
+
+    def accept_move(self, solution: Solution, move) -> None:
+        """Commit the transaction opened by :meth:`propose_move`: the
+        candidate becomes the current state and the engine keeps its
+        already-synced mirror (commit-on-accept) — no undo, no re-apply,
+        no second delta-diff anywhere."""
+
+    def reject_move(self, solution: Solution, move) -> None:
+        """Abort the transaction opened by :meth:`propose_move`: undo
+        the move on the solution.  The stateful engines deliberately do
+        **not** restore their mirrors eagerly — the next delta-sync
+        re-diffs the undone solution against the mirror in O(delta),
+        exactly the flow the sequential explorer drives them through.
+        (An eager snapshot/replay reverse patch was measured *slower*
+        than the lazy re-diff on the paper corpus: the snapshot is paid
+        on every proposal while the re-diff is only paid on rejection,
+        and the re-diff itself is the same O(delta) pair-trimmed layer
+        replay the sync already performs.)"""
+        move.undo(solution)
+
 
 class FullRebuildEngine(EvaluationEngine):
     """Reference engine: rebuild the search graph for every candidate.
@@ -1471,6 +1534,22 @@ class ArrayEngine(IncrementalEngine):
     #: ``EngineSpec`` options) overrides it per instance.
     KERNEL_BATCH_MIN_WORK = 200_000
 
+    #: Dispatch modes accepted by the ``dispatch`` engine option:
+    #: ``"auto"`` picks per call site from the compiled graph shape,
+    #: ``"kernel"`` forces the fused NumPy lane path, ``"scalar"``
+    #: forces the persistent scalar DP.
+    DISPATCH_MODES = ("auto", "kernel", "scalar")
+
+    #: Mean static-level width (``CompiledInstance.mean_level_width``)
+    #: at or above which ``dispatch="auto"`` considers the graph
+    #: shallow/wide enough for the frontier-synchronous kernels to
+    #: amortize their per-level dispatch overhead.  The bundled corpus
+    #: is deep and narrow (static mean widths ~2-3, and annealed
+    #: serializations only get deeper), so ``"auto"`` resolves to the
+    #: scalar persistent path throughout the paper's scale; the kernels
+    #: only win on far wider batch-of-instances shapes.
+    KERNEL_MIN_MEAN_WIDTH = 64.0
+
     def __init__(
         self,
         application: Application,
@@ -1478,13 +1557,20 @@ class ArrayEngine(IncrementalEngine):
         bus_policy: str = "ordered",
         compiled=None,
         kernel_batch_min_work: Optional[int] = None,
+        dispatch: str = "auto",
     ) -> None:
         if kernel_batch_min_work is not None and kernel_batch_min_work < 0:
             raise ConfigurationError(
                 "kernel_batch_min_work must be >= 0, got "
                 f"{kernel_batch_min_work!r}"
             )
+        if dispatch not in self.DISPATCH_MODES:
+            raise ConfigurationError(
+                f"dispatch must be one of {self.DISPATCH_MODES}, "
+                f"got {dispatch!r}"
+            )
         self._kernel_batch_min_work = kernel_batch_min_work
+        self.dispatch = dispatch
         super().__init__(application, architecture, bus_policy, compiled)
 
     @property
@@ -2082,17 +2168,24 @@ class ArrayEngine(IncrementalEngine):
         chain_next = self._chain_next
         pos0 = self._pos0
         dirty = self._dirty
-        heap: List[Tuple[int, int]] = []
+        # The heap holds bare positions: ``pos0`` is a bijection, so an
+        # int compares exactly like the old ``(pos, node)`` tuple (ties
+        # are impossible) while skipping the tuple allocation and the
+        # lexicographic compare on every push/pop — the overlay is the
+        # hottest loop of the persistent path.
+        order0 = self._orders0[0][0]
+        heap: List[int] = []
         push = heapq.heappush
         prev = dep_comm[perm[0]]
         for j in perm[1:]:
             c = dep_comm[j]
             if finish[prev] > starts[c] and not dirty[c]:
                 dirty[c] = True
-                push(heap, (pos0[c], c))
+                heap.append(pos0[c])
             prev = c
         if not heap:
             return True
+        heapq.heapify(heap)
         lo = self._ntasks
         hi = lo + self._ndeps
         comm_src = self._dep_src
@@ -2111,10 +2204,9 @@ class ArrayEngine(IncrementalEngine):
             pops += 1
             if pops > budget:
                 while heap:
-                    _pos, v = pop(heap)
-                    dirty[v] = False
+                    dirty[order0[pop(heap)]] = False
                 return False
-            _pos, v = pop(heap)
+            v = order0[pop(heap)]
             if not dirty[v]:
                 continue
             dirty[v] = False
@@ -2149,19 +2241,19 @@ class ArrayEngine(IncrementalEngine):
                 for nxt in succ_static[v]:
                     if not dirty[nxt]:
                         dirty[nxt] = True
-                        push(heap, (pos0[nxt], nxt))
+                        push(heap, pos0[nxt])
                 for nxt in succ_seq[v]:
                     if not dirty[nxt]:
                         dirty[nxt] = True
-                        push(heap, (pos0[nxt], nxt))
+                        push(heap, pos0[nxt])
                 nxt = proc_next[v]
                 if nxt >= 0 and not dirty[nxt]:
                     dirty[nxt] = True
-                    push(heap, (pos0[nxt], nxt))
+                    push(heap, pos0[nxt])
                 nxt = chain_next[v]
                 if nxt >= 0 and not dirty[nxt]:
                     dirty[nxt] = True
-                    push(heap, (pos0[nxt], nxt))
+                    push(heap, pos0[nxt])
         return True
 
     def _dp_serialized(self, order: List[int]) -> None:
@@ -2286,12 +2378,18 @@ class ArrayEngine(IncrementalEngine):
         evaluation-pure costs, e.g. ``MakespanCost``, can be computed
         after the candidates have been undone), or when the batch is
         too small for the kernels to amortize their dispatch overhead
-        (see :data:`KERNEL_BATCH_MIN_WORK`)."""
+        (see :data:`KERNEL_BATCH_MIN_WORK`; ``dispatch="kernel"``
+        bypasses the threshold, ``dispatch="scalar"`` always takes the
+        reference loop)."""
         if cost_function is not None and not getattr(
             cost_function, "solution_independent", False
         ):
             return super().evaluate_batch(solution, moves, cost_function)
-        if len(moves) * len(self._interner) < self.kernel_batch_min_work:
+        if self.dispatch == "scalar":
+            return super().evaluate_batch(solution, moves, cost_function)
+        if self.dispatch != "kernel" and (
+            len(moves) * len(self._interner) < self.kernel_batch_min_work
+        ):
             return super().evaluate_batch(solution, moves, cost_function)
         lanes: List[Optional[_Lane]] = []
         for move in moves:
@@ -2458,15 +2556,20 @@ class CrossChainEvaluator:
     receive :meth:`CompiledInstance.fork` views, so construction stays
     O(compile + K · mirror) instead of O(K · compile).
 
-    ``evaluate_moves`` is the cross-chain hot path: apply each chain's
-    proposed move, capture the chain as a dense lane, undo, then score
-    *all* lanes through one fused :meth:`ArrayEngine._evaluate_lanes`
-    pass (two ``batched_longest_path`` dispatches for the whole
-    population).  Unlike the intra-neighborhood batch path this never
-    consults :data:`ArrayEngine.KERNEL_BATCH_MIN_WORK` — cross-chain
-    lanes are always dense, which is the whole point.  Non-array
-    engines (and solution-dependent cost functions) fall back to the
-    per-chain scalar ``evaluate_batch``, bit-identical by engine parity.
+    ``propose_moves`` + ``resolve`` is the annealer hot path: each
+    chain's permanently-bound stateful engine scores its proposed move
+    through the persistent delta path (apply → delta-sync → read the
+    makespan) and leaves it applied; the annealer's accept keeps the
+    already-synced engine state (commit-on-accept — no undo, no
+    re-apply, no second delta-diff), a reject undoes the move and lets
+    the engine's next delta-sync absorb the O(delta) reverse patch.
+    A depth-aware dispatcher picks that
+    path or the PR 6 fused-lane kernel path from the compiled graph
+    shape (``dispatch="auto"``, overridable per
+    :data:`ArrayEngine.DISPATCH_MODES`): the frontier-synchronous
+    kernels only amortize on shallow/wide graphs, and the paper's
+    instances anneal ~300 levels deep.  ``evaluate_moves`` remains the
+    pure (solutions-left-untouched) cross-chain kernel API.
     """
 
     def __init__(
@@ -2485,22 +2588,44 @@ class CrossChainEvaluator:
         self.architecture = architecture
         self.kind = engine["kind"] if isinstance(engine, dict) else engine
         self.bus_policy = bus_policy
+        # Every chain's engine — forks included — goes through
+        # make_engine, so per-chain construction cannot bypass engine-
+        # option validation; chains 1..K-1 reuse chain 0's compile pass
+        # through CompiledInstance.fork.
         first = make_engine(engine, application, architecture, bus_policy)
         engines: List[EvaluationEngine] = [first]
         compiled = getattr(first, "compiled", None)
         for _ in range(1, chains):
-            if compiled is None:
-                engines.append(
-                    make_engine(engine, application, architecture, bus_policy)
-                )
-                continue
-            kwargs = {"compiled": compiled.fork()}
-            if isinstance(first, ArrayEngine):
-                kwargs["kernel_batch_min_work"] = first._kernel_batch_min_work
             engines.append(
-                type(first)(application, architecture, bus_policy, **kwargs)
+                make_engine(
+                    engine,
+                    application,
+                    architecture,
+                    bus_policy,
+                    compiled=None if compiled is None else compiled.fork(),
+                )
             )
         self.engines = engines
+        #: Resolved cross-chain dispatch: ``"kernel"`` scores rounds
+        #: through the fused-lane path, ``"scalar"`` through the
+        #: per-chain persistent transactions.  ``"auto"`` consults the
+        #: compile pass's mean level width — deep/narrow instances
+        #: (the whole bundled corpus) ride the scalar persistent DP.
+        self.dispatch = self._resolve_dispatch(first)
+        self._pending_persistent = False
+
+    @staticmethod
+    def _resolve_dispatch(first: EvaluationEngine) -> str:
+        if not isinstance(first, ArrayEngine):
+            return "scalar"
+        mode = first.dispatch
+        if mode != "auto":
+            return mode
+        wide = (
+            first.compiled.mean_level_width
+            >= ArrayEngine.KERNEL_MIN_MEAN_WIDTH
+        )
+        return "kernel" if wide else "scalar"
 
     # ------------------------------------------------------------------
     @property
@@ -2516,6 +2641,71 @@ class CrossChainEvaluator:
         """Scalar evaluation of one chain's current state."""
         return self.engines[chain].evaluate(solution)
 
+    def _check_arity(self, solutions: Sequence, moves: Sequence) -> None:
+        if len(solutions) != len(self.engines) or len(moves) != len(
+            self.engines
+        ):
+            raise ConfigurationError(
+                f"expected {len(self.engines)} solutions and moves, got "
+                f"{len(solutions)} and {len(moves)}"
+            )
+
+    # ------------------------------------------------------------------
+    def propose_moves(
+        self,
+        solutions: Sequence[Solution],
+        moves: Sequence,
+        cost_function=None,
+    ) -> List[Optional[Tuple[Evaluation, Optional[float]]]]:
+        """Score chain k's proposed move against chain k's state, for
+        all chains at once, as open transactions.
+
+        On the persistent path (``dispatch="scalar"``, or a cost
+        function that reads the candidate solution) every scored move
+        is left **applied** with its engine synced to the candidate;
+        the caller must then call :meth:`resolve` for each non-``None``
+        outcome.  On the kernel path the call is pure (it delegates to
+        :meth:`evaluate_moves`) and :meth:`resolve` re-applies accepted
+        moves.  ``moves[k]`` may be ``None`` (no proposal this round);
+        the k-th result is then ``None``, as it is when the move's
+        application raises :class:`InfeasibleMoveError` — neither opens
+        a transaction.  Outcomes are bit-identical between the two
+        paths for evaluation-pure cost functions (engine parity)."""
+        self._check_arity(solutions, moves)
+        kernel = self.dispatch == "kernel" and (
+            cost_function is None
+            or getattr(cost_function, "solution_independent", False)
+        )
+        if kernel:
+            self._pending_persistent = False
+            return self.evaluate_moves(solutions, moves, cost_function)
+        self._pending_persistent = True
+        results: List[Optional[Tuple[Evaluation, Optional[float]]]] = []
+        for engine, solution, move in zip(self.engines, solutions, moves):
+            if move is None:
+                results.append(None)
+                continue
+            results.append(engine.propose_move(solution, move, cost_function))
+        return results
+
+    def resolve(
+        self, chain: int, solution: Solution, move, accept: bool
+    ) -> None:
+        """Finish one chain's transaction from the last
+        :meth:`propose_moves` round: commit-on-accept keeps the applied
+        move and the engine's already-synced state; reject undoes the
+        move (the engine's next delta-sync absorbs the reverse patch).
+        On the kernel path (pure scoring) an accepted move is applied
+        here instead."""
+        if self._pending_persistent:
+            engine = self.engines[chain]
+            if accept:
+                engine.accept_move(solution, move)
+            else:
+                engine.reject_move(solution, move)
+        elif accept:
+            move.apply(solution)
+
     # ------------------------------------------------------------------
     def evaluate_moves(
         self,
@@ -2529,13 +2719,7 @@ class CrossChainEvaluator:
         move's application raises :class:`InfeasibleMoveError`.  Every
         solution is left exactly as it came in — accepted moves replay
         their cached decisions on re-apply."""
-        if len(solutions) != len(self.engines) or len(moves) != len(
-            self.engines
-        ):
-            raise ConfigurationError(
-                f"expected {len(self.engines)} solutions and moves, got "
-                f"{len(solutions)} and {len(moves)}"
-            )
+        self._check_arity(solutions, moves)
         batched = self.kind == "array" and (
             cost_function is None
             or getattr(cost_function, "solution_independent", False)
@@ -2587,38 +2771,52 @@ class CrossChainEvaluator:
         return results
 
 
+#: Engine options accepted in the ``{"kind": ..., **options}`` mapping
+#: form (all array-engine-only).
+ENGINE_OPTIONS = ("dispatch", "kernel_batch_min_work")
+
+
 def make_engine(
     name,
     application: Application,
     architecture: Architecture,
     bus_policy: str = "ordered",
+    compiled=None,
 ) -> EvaluationEngine:
     """Instantiate an evaluation engine by name (``"full"``,
     ``"incremental"`` or ``"array"``); raises
     :class:`ConfigurationError` otherwise.  ``name`` may also be a
-    mapping ``{"kind": <name>, **options}`` — currently the only option
-    is the array engine's ``kernel_batch_min_work`` threshold."""
+    mapping ``{"kind": <name>, **options}`` carrying the array engine's
+    ``kernel_batch_min_work`` threshold and/or ``dispatch`` mode.
+    ``compiled`` hands an existing :class:`CompiledInstance` (or fork)
+    to the stateful engines so K engines can share one compile pass;
+    the stateless reference engine ignores it."""
     options: Dict[str, object] = {}
     if isinstance(name, dict):
         options = dict(name)
         name = options.pop("kind", None)
-    unknown = set(options) - {"kernel_batch_min_work"}
+    unknown = set(options) - set(ENGINE_OPTIONS)
     if unknown:
         raise ConfigurationError(
             f"unknown engine option(s) {sorted(unknown)}; "
-            "accepted: ['kernel_batch_min_work']"
+            f"accepted: {sorted(ENGINE_OPTIONS)}"
         )
-    if "kernel_batch_min_work" in options and name != "array":
+    if options and name != "array":
         raise ConfigurationError(
-            "kernel_batch_min_work applies to the 'array' engine only, "
-            f"got engine {name!r}"
+            f"engine option(s) {sorted(options)} apply to the 'array' "
+            f"engine only, got engine {name!r}"
         )
     if name == "full":
         return FullRebuildEngine(application, architecture, bus_policy)
     if name == "incremental":
-        return IncrementalEngine(application, architecture, bus_policy)
+        return IncrementalEngine(
+            application, architecture, bus_policy, compiled=compiled
+        )
     if name == "array":
-        return ArrayEngine(application, architecture, bus_policy, **options)
+        return ArrayEngine(
+            application, architecture, bus_policy, compiled=compiled,
+            **options,
+        )
     raise ConfigurationError(
         f"engine must be one of {ENGINES}, got {name!r}"
     )

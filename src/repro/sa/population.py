@@ -1,16 +1,18 @@
 """Population annealing / parallel tempering over K cross-batched chains.
 
-PR 5's measured finding: the paper's task graphs are too *deep* for the
-NumPy frontier kernels to win within one neighborhood — speculative
-intra-neighborhood batches share one base state, so their lanes are
-sparse and the scalar persistent DP outruns the kernels at paper scale.
-This module batches *across* chains instead: K independent annealing
-chains, each with its own current solution, propose one move per round,
-and all K candidate lanes are scored through a single fused
-:func:`repro.graph.kernels.batched_longest_path` pass
-(:meth:`repro.mapping.engine.CrossChainEvaluator.evaluate_moves`).
-Cross-chain lanes are always dense — every lane is a full solution —
-which is exactly the regime the kernels were built for.
+K independent annealing chains, each with its own current solution and
+its own permanently-bound evaluation engine, propose one move per round
+and score it through
+:meth:`repro.mapping.engine.CrossChainEvaluator.propose_moves`.  The
+measured finding of PRs 5/6 drives the hot path: the paper's task
+graphs anneal hundreds of topological levels deep, so per-chain
+*persistent delta evaluation* (apply → delta-sync → read the makespan,
+commit-on-accept, lazy O(delta) re-diff on reject) outruns the fused
+K-lane NumPy kernels at paper scale.  A depth-aware dispatcher
+(``EngineSpec.options["dispatch"]``, default ``"auto"``) consults the
+compile pass's level statistics and only routes rounds through the
+fused :func:`repro.graph.kernels.batched_longest_path` pass when the
+graph is shallow/wide enough to amortize per-level kernel dispatch.
 
 On top of the throughput win the population buys parallel tempering's
 quality gains: chains occupy the rungs of a temperature ladder
@@ -38,7 +40,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.arch.architecture import Architecture
 from repro.errors import ConfigurationError, InfeasibleMoveError
@@ -187,11 +189,12 @@ class PopulationAnnealer(SearchStrategy):
         candidate: float,
         cooling: bool,
         rng: random.Random,
-        temperature_of: Callable[[], float],
+        temperature: float,
     ) -> bool:
         """The annealer's Metropolis rule with the slot's effective
-        temperature (read lazily: schedules expose no temperature before
-        cooling begins)."""
+        temperature (``temperature`` is only read once cooling has
+        begun — callers pass ``inf`` during warmup, when schedules
+        expose no temperature yet)."""
         if not math.isfinite(candidate):
             return False  # cyclic realization: always reject
         delta = candidate - current
@@ -199,7 +202,6 @@ class PopulationAnnealer(SearchStrategy):
             return True
         if not cooling:
             return True  # infinite-temperature warmup accepts everything
-        temperature = temperature_of()
         if temperature <= 0:
             return False
         return rng.random() < math.exp(-delta / temperature)
@@ -304,7 +306,7 @@ class PopulationAnnealer(SearchStrategy):
                 moves.append(move)
                 names.append(move_name)
 
-            outcomes = evaluator.evaluate_moves(solutions, moves, cost_function)
+            outcomes = evaluator.propose_moves(solutions, moves, cost_function)
 
             accepted = [False] * K
             feasible = [False] * K
@@ -313,7 +315,7 @@ class PopulationAnnealer(SearchStrategy):
                 if outcome is None:
                     # Null draw or infeasible application: the round
                     # counts, but carries no thermal information for
-                    # this chain.
+                    # this chain (and no transaction is open).
                     stats.record_infeasible(names[c])
                     continue
                 _evaluation, new_cost = outcome
@@ -321,12 +323,15 @@ class PopulationAnnealer(SearchStrategy):
                 s = slot_of_chain[c]
                 accept = self._metropolis(
                     current[c], new_cost, cooling, rngs[c],
-                    lambda s=s: schedules[s].temperature * factors[s],
+                    schedules[s].temperature * factors[s]
+                    if cooling else math.inf,
                 )
+                # Commit-on-accept: on the persistent path an accepted
+                # move is already applied with its engine synced (no
+                # undo/re-apply/re-diff); a reject undoes the move and
+                # the engine's next delta-sync absorbs the reverse patch.
+                evaluator.resolve(c, solutions[c], moves[c], accept)
                 if accept:
-                    # The candidate was undone inside the evaluator;
-                    # re-apply it (moves replay their cached decisions).
-                    moves[c].apply(solutions[c])
                     current[c] = new_cost
                     stats.record_accepted(names[c])
                 else:

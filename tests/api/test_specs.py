@@ -263,3 +263,28 @@ class TestLoadRequest:
         path.write_text("{not json")
         with pytest.raises(ConfigurationError, match="not valid JSON"):
             load_request(str(path))
+
+
+class TestEngineOptions:
+    """EngineSpec.options: the array engine's tuning knobs."""
+
+    def test_dispatch_modes_accepted(self):
+        for mode in ("auto", "kernel", "scalar"):
+            EngineSpec("array", {"dispatch": mode}).validate()
+
+    def test_unknown_dispatch_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            EngineSpec("array", {"dispatch": "warp"}).validate()
+
+    def test_dispatch_on_non_array_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="array"):
+            EngineSpec("incremental", {"dispatch": "auto"}).validate()
+
+    def test_min_work_must_be_a_non_negative_int(self):
+        EngineSpec("array", {"kernel_batch_min_work": 0}).validate()
+        with pytest.raises(ConfigurationError, match="kernel_batch_min_work"):
+            EngineSpec("array", {"kernel_batch_min_work": -1}).validate()
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="turbo"):
+            EngineSpec("array", {"turbo": True}).validate()

@@ -100,3 +100,32 @@ class TestEngineSharing:
         compiled = compile_instance(app, arch.bus)
         assert compiled.ntasks == len(app)
         assert compiled.ndeps == app.dag.num_edges()
+
+
+class TestGraphShape:
+    """Static level statistics from the compile pass (the depth-aware
+    dispatcher's inputs)."""
+
+    def test_small_app_levels(self, compiled, small_app):
+        # 0 -> (1, 2) -> 3 -> 4 -> 5 with a comm node on each of the 6
+        # dependencies: task and comm levels alternate along the spine,
+        # so the 12 nodes stack 9 levels deep.
+        n = len(small_app.task_indices()) + compiled.ndeps
+        assert compiled.depth == 9
+        assert compiled.mean_level_width == pytest.approx(n / 9)
+
+    def test_fork_preserves_shape(self, compiled):
+        fork = compiled.fork()
+        assert fork.depth == compiled.depth
+        assert fork.mean_level_width == compiled.mean_level_width
+
+    def test_motion_app_is_deep_and_narrow(self):
+        compiled = compile_instance(
+            motion_detection_application(),
+            epicure_architecture(n_clbs=2000).bus,
+        )
+        assert compiled.depth >= 2
+        assert compiled.mean_level_width >= 1.0
+        # The paper's applications are serialized pipelines: far below
+        # the dispatcher's kernel threshold.
+        assert compiled.mean_level_width < ArrayEngine.KERNEL_MIN_MEAN_WIDTH

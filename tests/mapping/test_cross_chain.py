@@ -6,10 +6,13 @@ spec-dict form, rejection cases, fork propagation) and the
 batched-vs-fallback parity of ``CrossChainEvaluator.evaluate_moves``.
 """
 
+import copy
 import random
 
 import pytest
 
+from repro.arch.processor import Processor
+from repro.arch.reconfigurable import ReconfigurableCircuit
 from repro.errors import ConfigurationError
 from repro.mapping.compiled import compile_instance
 from repro.mapping.engine import (
@@ -186,3 +189,265 @@ class TestCrossChainEvaluator:
     def test_rejects_zero_chains(self, small_app, small_arch):
         with pytest.raises(ConfigurationError, match="chains"):
             CrossChainEvaluator(small_app, small_arch, 0)
+
+
+class TestDispatchResolution:
+    """The depth-aware dispatcher: explicit modes win, ``"auto"``
+    consults the compile pass's mean level width, non-array engines
+    always take the scalar path."""
+
+    def test_explicit_modes_win(self, small_app, small_arch):
+        for mode in ("kernel", "scalar"):
+            evaluator = CrossChainEvaluator(
+                small_app, small_arch, 2,
+                engine={"kind": "array", "dispatch": mode},
+            )
+            assert evaluator.dispatch == mode
+
+    def test_auto_routes_deep_graphs_to_scalar(self, small_app, small_arch):
+        # The diamond app is deep/narrow (mean level width well below
+        # the kernel threshold), so "auto" resolves to the persistent
+        # scalar path.
+        evaluator = CrossChainEvaluator(small_app, small_arch, 2)
+        compiled = evaluator.engines[0].compiled
+        assert compiled.mean_level_width < ArrayEngine.KERNEL_MIN_MEAN_WIDTH
+        assert evaluator.dispatch == "scalar"
+
+    def test_auto_routes_wide_graphs_to_kernel(
+        self, small_app, small_arch, monkeypatch
+    ):
+        monkeypatch.setattr(ArrayEngine, "KERNEL_MIN_MEAN_WIDTH", 0.0)
+        evaluator = CrossChainEvaluator(small_app, small_arch, 2)
+        assert evaluator.dispatch == "kernel"
+
+    def test_non_array_engines_are_scalar(self, small_app, small_arch):
+        for engine in ("full", "incremental"):
+            evaluator = CrossChainEvaluator(
+                small_app, small_arch, 2, engine=engine
+            )
+            assert evaluator.dispatch == "scalar"
+
+    def test_invalid_mode_rejected(self, small_app, small_arch):
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            make_engine(
+                {"kind": "array", "dispatch": "warp"}, small_app, small_arch
+            )
+
+
+class TestPersistentTransactions:
+    """The commit-on-accept path (``propose_moves`` + ``resolve``) is
+    bit-identical to the pure PR 6 flow (``evaluate_moves`` + undo +
+    re-apply on accept), across every engine, both resolve branches,
+    and every move kind (m1/m2/m_impl/m_offload plus the m3/m4
+    architecture moves)."""
+
+    CHAINS = 3
+    ROUNDS = 8
+
+    def _population(self, app, arch, engine, seed=41):
+        evaluator = CrossChainEvaluator(
+            app, arch, self.CHAINS, engine=engine
+        )
+        solutions = [
+            random_initial_solution(app, arch, random.Random(seed + c))
+            for c in range(self.CHAINS)
+        ]
+        for c in range(self.CHAINS):
+            evaluator.evaluate(c, solutions[c])
+        return evaluator, solutions
+
+    @staticmethod
+    def _catalog():
+        return [
+            lambda name: Processor(name, speed_factor=1.2, monetary_cost=1.0),
+            lambda name: ReconfigurableCircuit(
+                name, n_clbs=400, monetary_cost=2.0
+            ),
+        ]
+
+    def _moves(self, app, solutions, seed, p_zero=0.0):
+        generator = MoveGenerator(
+            app, p_zero=p_zero, p_impl=0.2,
+            catalog=self._catalog() if p_zero else None,
+        )
+        rng = random.Random(seed)
+        moves = []
+        for solution in solutions:
+            try:
+                moves.append(generator.propose(solution, rng))
+            except Exception:
+                moves.append(None)
+        return moves
+
+    def _run_walk(self, app, arch, engine, persistent, p_zero=0.0):
+        """Drive ROUNDS rounds; ``persistent`` picks the transaction
+        path, else the pure scoring + re-apply reference.  The accept
+        rule is deterministic in (round, chain) so both walks take the
+        same branches.  The architecture is copied per walk: the m3/m4
+        moves mutate it (resource set, fresh-name counter), and the two
+        walks must start from identical state."""
+        arch = copy.deepcopy(arch)
+        evaluator, solutions = self._population(app, arch, engine)
+        cost = MakespanCost()
+        costs = []
+        for round_no in range(self.ROUNDS):
+            moves = self._moves(app, solutions, seed=round_no, p_zero=p_zero)
+            if persistent:
+                outcomes = evaluator.propose_moves(solutions, moves, cost)
+            else:
+                outcomes = evaluator.evaluate_moves(solutions, moves, cost)
+            for c in range(self.CHAINS):
+                if outcomes[c] is None:
+                    continue
+                accept = (round_no + c) % 2 == 0
+                if persistent:
+                    evaluator.resolve(c, solutions[c], moves[c], accept)
+                elif accept:
+                    moves[c].apply(solutions[c])
+            costs.append(
+                [None if r is None else r[1] for r in outcomes]
+            )
+        finals = [
+            evaluator.evaluate(c, solutions[c]).makespan_ms
+            for c in range(self.CHAINS)
+        ]
+        return costs, finals
+
+    @pytest.mark.parametrize("engine", ["full", "incremental", "array"])
+    def test_commit_path_matches_pure_replay(
+        self, engine, small_app, small_arch
+    ):
+        persistent = self._run_walk(
+            small_app, small_arch, engine, persistent=True
+        )
+        replay = self._run_walk(
+            small_app, small_arch, engine, persistent=False
+        )
+        assert persistent == replay
+
+    def _single_engine_walk(self, app, arch, engine, persistent,
+                            p_zero, rounds=20, seed=23):
+        """One engine, one solution: drive ``propose_move`` + accept/
+        reject (persistent) or the classic apply → evaluate → undo
+        reference over the same seeded move stream.  ``p_zero > 0``
+        draws the m3/m4 resource moves, which change the resource set
+        mid-walk (the hardest case for the persistent mirrors: interner
+        growth plus resource-name churn)."""
+        arch = copy.deepcopy(arch)
+        eng = make_engine(engine, app, arch)
+        solution = random_initial_solution(app, arch, random.Random(seed))
+        eng.evaluate(solution)
+        generator = MoveGenerator(
+            app, p_zero=p_zero, p_impl=0.2,
+            catalog=self._catalog() if p_zero else None,
+        )
+        rng = random.Random(seed + 1)
+        cost = MakespanCost()
+        costs = []
+        for round_no in range(rounds):
+            try:
+                move = generator.propose(solution, rng)
+            except Exception:
+                costs.append(None)
+                continue
+            accept = round_no % 2 == 0
+            if persistent:
+                outcome = eng.propose_move(solution, move, cost)
+                if outcome is None:
+                    costs.append(None)
+                    continue
+                costs.append(outcome[1])
+                if accept:
+                    eng.accept_move(solution, move)
+                else:
+                    eng.reject_move(solution, move)
+            else:
+                try:
+                    move.apply(solution)
+                except Exception:
+                    costs.append(None)
+                    continue
+                evaluation = eng.evaluate(solution)
+                costs.append(cost(solution, evaluation))
+                if not accept:
+                    move.undo(solution)
+        return costs, eng.evaluate(solution).makespan_ms
+
+    @pytest.mark.parametrize("engine", ["full", "incremental", "array"])
+    def test_architecture_moves_replay_identically(
+        self, engine, small_app, small_arch
+    ):
+        # m3/m4 change the architecture itself, so they are exercised
+        # on a single permanently-bound engine (the population draws
+        # them with p_zero=0 across chains: a shared-architecture edit
+        # would desync the sibling chains' solutions).
+        persistent = self._single_engine_walk(
+            small_app, small_arch, engine, persistent=True, p_zero=0.4
+        )
+        replay = self._single_engine_walk(
+            small_app, small_arch, engine, persistent=False, p_zero=0.4
+        )
+        assert persistent == replay
+
+    @pytest.mark.parametrize("engine", ["full", "incremental", "array"])
+    def test_post_walk_state_matches_fresh_engine(
+        self, engine, small_app, small_arch
+    ):
+        evaluator, solutions = self._population(
+            small_app, small_arch, engine
+        )
+        cost = MakespanCost()
+        for round_no in range(self.ROUNDS):
+            moves = self._moves(small_app, solutions, seed=round_no)
+            outcomes = evaluator.propose_moves(solutions, moves, cost)
+            for c in range(self.CHAINS):
+                if outcomes[c] is None:
+                    continue
+                evaluator.resolve(
+                    c, solutions[c], moves[c], (round_no + c) % 2 == 0
+                )
+        for c in range(self.CHAINS):
+            fresh = make_engine(
+                engine, small_app, small_arch
+            ).evaluate(solutions[c]).makespan_ms
+            assert evaluator.evaluate(c, solutions[c]).makespan_ms == fresh
+
+    def test_kernel_dispatch_reapplies_on_accept(
+        self, small_app, small_arch, monkeypatch
+    ):
+        # Forced kernel dispatch takes the pure evaluate_moves path;
+        # resolve must then apply accepted moves itself.
+        evaluator, solutions = self._population(
+            small_app, small_arch, {"kind": "array", "dispatch": "kernel"}
+        )
+        assert evaluator.dispatch == "kernel"
+        cost = MakespanCost()
+        moves = self._moves(small_app, solutions, seed=3)
+        before = [s.num_contexts() for s in solutions]
+        outcomes = evaluator.propose_moves(solutions, moves, cost)
+        assert not evaluator._pending_persistent
+        for c in range(self.CHAINS):
+            if outcomes[c] is None:
+                continue
+            evaluator.resolve(c, solutions[c], moves[c], True)
+        want = [
+            evaluator.evaluate(c, solutions[c]).makespan_ms
+            for c in range(self.CHAINS)
+        ]
+        fresh = [
+            make_engine("full", small_app, small_arch)
+            .evaluate(solutions[c]).makespan_ms
+            for c in range(self.CHAINS)
+        ]
+        assert want == fresh
+
+    def test_propose_none_moves_open_no_transactions(
+        self, small_app, small_arch
+    ):
+        evaluator, solutions = self._population(
+            small_app, small_arch, "array"
+        )
+        results = evaluator.propose_moves(
+            solutions, [None] * self.CHAINS, MakespanCost()
+        )
+        assert results == [None] * self.CHAINS

@@ -152,3 +152,46 @@ class TestValidation:
     def test_rejects_non_positive_ladder(self, small_app, small_arch):
         with pytest.raises(ConfigurationError, match="ladder_ratio"):
             PopulationAnnealer(small_app, small_arch, ladder_ratio=0.0)
+
+
+def trajectory(result):
+    return (
+        result.best_cost,
+        result.final_cost,
+        result.iterations_run,
+        result.evaluations,
+        tuple(result.history),
+        tuple(
+            (r.iteration, r.temperature, r.current_cost, r.best_cost,
+             r.num_contexts, r.accepted, r.move_name)
+            for r in result.trace
+        ),
+    )
+
+
+class TestDispatchBitIdentity:
+    """The depth-aware dispatcher changes throughput, never results:
+    every dispatch mode of the array engine — and every engine — walks
+    the identical trajectory for a fixed seed, including the persistent
+    commit-on-accept path vs the fused kernel path."""
+
+    def test_all_dispatch_modes_and_engines_agree(
+        self, small_app, small_arch
+    ):
+        reference = trajectory(
+            make_population(
+                small_app, small_arch, 5, engine="incremental"
+            ).search()
+        )
+        for engine in (
+            "full",
+            {"kind": "array", "dispatch": "auto"},
+            {"kind": "array", "dispatch": "kernel"},
+            {"kind": "array", "dispatch": "scalar"},
+        ):
+            got = trajectory(
+                make_population(
+                    small_app, small_arch, 5, engine=engine
+                ).search()
+            )
+            assert got == reference, engine

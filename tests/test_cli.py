@@ -175,6 +175,47 @@ class TestBench:
         assert main(["bench", "compare", str(out_path), str(slow_path)]) == 1
         assert "REGRESSION" in capsys.readouterr().out
 
+    def test_compare_json_output(self, tmp_path, capsys):
+        import copy
+        import json
+
+        from repro.bench import load_results, write_results
+
+        out_path = tmp_path / "old.json"
+        assert main([
+            "bench", "run", "--suite", "quick",
+            "--filter", "analysis/combinatorics",
+            "--repeats", "1", "--bench-warmup", "0",
+            "--out", str(out_path),
+        ]) == 0
+        document = load_results(str(out_path))
+        slow = copy.deepcopy(document)
+        slow["cases"][0]["median_s"] = (
+            document["cases"][0]["median_s"] * 2 + 1.0
+        )
+        slow_path = tmp_path / "new.json"
+        write_results(slow, str(slow_path))
+        capsys.readouterr()
+        # --json prints one machine-readable document on stdout; the
+        # exit code still carries the gate verdict.
+        assert main([
+            "bench", "compare", "--json", str(out_path), str(slow_path)
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        regressed = [
+            row for row in payload["deltas"]
+            if row["status"] == "regression"
+        ]
+        assert len(regressed) == 1
+        assert regressed[0]["name"] == document["cases"][0]["name"]
+        capsys.readouterr()
+        assert main([
+            "bench", "compare", "--json", str(out_path), str(out_path)
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
 
 class TestJsonOutput:
     def test_explore_json_envelope(self, capsys):
