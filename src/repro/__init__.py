@@ -48,6 +48,7 @@ from repro.errors import (
     MoveError,
     InfeasibleMoveError,
     ConfigurationError,
+    TelemetryError,
 )
 from repro.graph import Dag, PathCountClosure, MaxPlusClosure
 from repro.model import (
@@ -111,6 +112,7 @@ from repro.search import (
     run_portfolio,
     run_search_jobs,
 )
+from repro.obs import Telemetry
 from repro import api
 from repro.api import (
     ApplicationSpec,
@@ -129,7 +131,7 @@ __all__ = [
     # errors
     "ReproError", "GraphError", "CycleError", "ModelError",
     "ArchitectureError", "CapacityError", "MappingError", "MoveError",
-    "InfeasibleMoveError", "ConfigurationError",
+    "InfeasibleMoveError", "ConfigurationError", "TelemetryError",
     # graph
     "Dag", "PathCountClosure", "MaxPlusClosure",
     # model
@@ -154,6 +156,8 @@ __all__ = [
     "SearchStrategy", "SearchBudget", "SearchResult",
     "StrategySpec", "InstanceSpec", "SearchJob",
     "run_search_jobs", "run_portfolio", "derive_seeds",
+    # observability
+    "Telemetry",
     # declarative public API (note: repro.api.StrategySpec is the
     # spec-layer strategy document; repro.StrategySpec stays the
     # runner-level job spec)

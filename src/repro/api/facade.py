@@ -93,6 +93,10 @@ class ExplorationResponse:
     environment: Dict[str, Any] = field(default_factory=environment_stamp)
     jobs: int = 1
     schema_version: int = SCHEMA_VERSION
+    #: Telemetry summary block (counters/gauges/timers snapshot), present
+    #: only when the caller supplied a recorder; omitted from the JSON
+    #: envelope otherwise so pre-telemetry documents stay byte-identical.
+    telemetry: Optional[Dict[str, Any]] = None
     #: Live objects, in-process only (excluded from the JSON envelope).
     outcomes: List[JobOutcome] = field(
         default_factory=list, repr=False, compare=False
@@ -102,7 +106,7 @@ class ExplorationResponse:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "format": RESPONSE_FORMAT,
             "schema_version": self.schema_version,
             "kind": self.kind,
@@ -113,6 +117,9 @@ class ExplorationResponse:
             "best": self.best,
             "summary": self.summary,
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -139,6 +146,7 @@ class ExplorationResponse:
             environment=dict(data.get("environment", {})),
             jobs=data.get("jobs", 1),
             schema_version=version,
+            telemetry=data.get("telemetry"),
         )
 
     @classmethod
@@ -204,14 +212,24 @@ def _best_record(
     }
 
 
+def _telemetry_block(telemetry) -> Dict[str, Any]:
+    """The summary block attached to a response (snapshot + stream size)."""
+    block = telemetry.snapshot()
+    block["label"] = telemetry.label
+    block["events"] = len(telemetry.events)
+    return block
+
+
 def _run_jobs_response(
     request: ExplorationRequest,
     job_list: List[SearchJob],
     jobs: int,
     checkpoint_path: Optional[str],
+    telemetry=None,
 ):
     outcomes = run_search_jobs(
-        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path,
+        telemetry=telemetry,
     )
     evaluations = [best_evaluation_of(o.result) for o in outcomes]
     return ExplorationResponse(
@@ -230,21 +248,29 @@ def explore(
     request: ExplorationRequest,
     jobs: int = 1,
     checkpoint_path: Optional[str] = None,
+    telemetry=None,
 ) -> ExplorationResponse:
     """Execute ``request`` and return the result envelope.
 
     ``jobs=N`` runs independent searches across N worker processes
     (bit-identical to ``jobs=1``); ``checkpoint_path`` (JSONL) makes
     batch-shaped requests resumable through the runner's checkpoint
-    machinery.
+    machinery.  ``telemetry`` (a
+    :class:`~repro.obs.telemetry.Telemetry`) records every run's event
+    stream — merged deterministically across workers — and attaches a
+    counters/timers summary block to the response.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
     resolved = resolve_request(request)
     if resolved.kind == "portfolio":
-        return _explore_portfolio(request, resolved, jobs, checkpoint_path)
+        return _explore_portfolio(
+            request, resolved, jobs, checkpoint_path, telemetry
+        )
     if resolved.kind == "sweep":
-        return _explore_sweep(request, resolved, jobs, checkpoint_path)
+        return _explore_sweep(
+            request, resolved, jobs, checkpoint_path, telemetry
+        )
 
     instance = InstanceSpec(
         resolved.application, architecture=resolved.architecture
@@ -259,7 +285,11 @@ def explore(
         )
         for position, seed in enumerate(resolved.seeds)
     ]
-    response, _ = _run_jobs_response(request, job_list, jobs, checkpoint_path)
+    response, _ = _run_jobs_response(
+        request, job_list, jobs, checkpoint_path, telemetry
+    )
+    if telemetry is not None:
+        response.telemetry = _telemetry_block(telemetry)
     if resolved.kind == "batch":
         from repro.analysis.stats import summarize
 
@@ -289,6 +319,7 @@ def _explore_portfolio(
     resolved: ResolvedRequest,
     jobs: int,
     checkpoint_path: Optional[str],
+    telemetry=None,
 ) -> ExplorationResponse:
     from repro.io import solution_to_dict
     from repro.search.portfolio import PORTFOLIO_KINDS, run_portfolio
@@ -305,6 +336,7 @@ def _explore_portfolio(
         kinds=resolved.portfolio_kinds or PORTFOLIO_KINDS,
         checkpoint_path=checkpoint_path,
         warmup_iterations=resolved.warmup_iterations,
+        telemetry=telemetry,
     )
     results = []
     for entry in entries:
@@ -345,6 +377,9 @@ def _explore_portfolio(
         best=best,
         summary=summary,
         jobs=jobs,
+        telemetry=(
+            _telemetry_block(telemetry) if telemetry is not None else None
+        ),
         entries=list(entries),
     )
 
@@ -354,6 +389,7 @@ def _explore_sweep(
     resolved: ResolvedRequest,
     jobs: int,
     checkpoint_path: Optional[str],
+    telemetry=None,
 ) -> ExplorationResponse:
     # Late imports: analysis.sweep routes back through this façade.
     from repro.analysis.sweep import _aggregate_rows, smallest_feasible_device
@@ -371,8 +407,10 @@ def _explore_sweep(
         for r in range(request.runs)
     ]
     response, evaluations = _run_jobs_response(
-        request, job_list, jobs, checkpoint_path
+        request, job_list, jobs, checkpoint_path, telemetry
     )
+    if telemetry is not None:
+        response.telemetry = _telemetry_block(telemetry)
     by_cell = {
         (outcome.tag[0], outcome.tag[1]): evaluation
         for outcome, evaluation in zip(response.outcomes, evaluations)

@@ -179,11 +179,13 @@ class GeneticPartitioner(SearchStrategy):
             budget.resolve_iterations(config.generations)
             if budget is not None else config.generations
         )
+        tele = self.telemetry
         evaluations_before = self.evaluator.evaluations
         # Construct the tracker first: scoring the initial population is
         # paid work and belongs in runtime_s (the clock starts here).
         tracker = SearchTracker(
-            self.name, budget=budget, seed=config.seed, on_step=on_step
+            self.name, budget=budget, seed=config.seed, on_step=on_step,
+            telemetry=tele,
         )
 
         population = [
@@ -196,35 +198,42 @@ class GeneticPartitioner(SearchStrategy):
                 costs[ch] = self.fitness(ch)
             return costs[ch]
 
-        for chromosome in population:
-            cost_of(chromosome)
-        best = min(population, key=cost_of)
+        with tele.phase("init"):
+            for chromosome in population:
+                cost_of(chromosome)
+            best = min(population, key=cost_of)
         tracker.begin(cost_of(best))
 
         for generation in range(1, generations + 1):
-            ranked = sorted(set(population), key=cost_of)
-            next_population: List[Chromosome] = list(ranked[: config.elitism])
-            while len(next_population) < config.population_size:
-                parent_a = self._tournament(population, costs, rng)
-                if rng.random() < config.crossover_rate:
-                    parent_b = self._tournament(population, costs, rng)
-                    child = self._crossover(parent_a, parent_b, rng)
-                else:
-                    child = parent_a
-                child = self._mutate(child, rng)
-                next_population.append(child)
-            population = next_population
-            for chromosome in population:
-                cost_of(chromosome)
-            generation_best = min(population, key=cost_of)
-            if cost_of(generation_best) < cost_of(best):
-                best = generation_best
+            with tele.phase("propose"):
+                ranked = sorted(set(population), key=cost_of)
+                next_population: List[Chromosome] = list(
+                    ranked[: config.elitism]
+                )
+                while len(next_population) < config.population_size:
+                    parent_a = self._tournament(population, costs, rng)
+                    if rng.random() < config.crossover_rate:
+                        parent_b = self._tournament(population, costs, rng)
+                        child = self._crossover(parent_a, parent_b, rng)
+                    else:
+                        child = parent_a
+                    child = self._mutate(child, rng)
+                    next_population.append(child)
+                population = next_population
+            with tele.phase("evaluate"):
+                for chromosome in population:
+                    cost_of(chromosome)
+            with tele.phase("accept"):
+                generation_best = min(population, key=cost_of)
+                if cost_of(generation_best) < cost_of(best):
+                    best = generation_best
             tracker.observe(generation, cost_of(best))
             if tracker.exhausted():
                 break
 
         best_solution = self.decode(best)
         best_evaluation = self.evaluator.evaluate(best_solution)
+        tracker.record_engine(self.evaluator)
         return tracker.finish(
             best_solution=best_solution,
             evaluations=self.evaluator.evaluations - evaluations_before,

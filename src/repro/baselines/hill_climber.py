@@ -74,35 +74,42 @@ class HillClimber(SearchStrategy):
             budget.resolve_iterations(self.iterations)
             if budget is not None else self.iterations
         )
+        tele = self.telemetry
         evaluations_before = self.evaluator.evaluations
-        current_cost = self.evaluator.makespan_ms(solution)
+        with tele.phase("init"):
+            current_cost = self.evaluator.makespan_ms(solution)
         tracker = SearchTracker(
-            self.name, budget=budget, seed=self.seed, on_step=on_step
+            self.name, budget=budget, seed=self.seed, on_step=on_step,
+            telemetry=tele,
         )
         tracker.begin(current_cost, solution)
         for iteration in range(1, iterations + 1):
             accepted = False
             move_name = ""
             try:
-                move = self.move_generator.propose(solution, rng)
-                move_name = move.name
-                move.apply(solution)
+                with tele.phase("propose"):
+                    move = self.move_generator.propose(solution, rng)
+                    move_name = move.name
+                    move.apply(solution)
             except InfeasibleMoveError:
                 tracker.observe(iteration, current_cost, solution,
                                 accepted=False, stall_eligible=False)
                 if tracker.exhausted():
                     break
                 continue
-            cost = self.evaluator.makespan_ms(solution)
-            if cost < current_cost:
-                current_cost = cost
-                accepted = True
-            else:
-                move.undo(solution)
+            with tele.phase("evaluate"):
+                cost = self.evaluator.makespan_ms(solution)
+            with tele.phase("accept"):
+                if cost < current_cost:
+                    current_cost = cost
+                    accepted = True
+                else:
+                    move.undo(solution)
             tracker.observe(iteration, current_cost, solution,
                             accepted=accepted, move_name=move_name)
             if tracker.exhausted():
                 break
+        tracker.record_engine(self.evaluator)
         return tracker.finish(
             evaluations=self.evaluator.evaluations - evaluations_before,
         )

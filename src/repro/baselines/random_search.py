@@ -80,23 +80,28 @@ class RandomSearch(SearchStrategy):
             budget.resolve_iterations(self.samples)
             if budget is not None else self.samples
         )
+        tele = self.telemetry
         evaluations_before = self.evaluator.evaluations
         tracker = SearchTracker(
-            self.name, budget=budget, seed=self.seed, on_step=on_step
+            self.name, budget=budget, seed=self.seed, on_step=on_step,
+            telemetry=tele,
         )
         tracker.begin()
         for sample in range(1, samples + 1):
-            if sample == 1 and initial is not None:
-                candidate = initial
-            else:
-                candidate = random_initial_solution(
-                    self.application, self.architecture, rng
-                )
-            cost = self.evaluator.makespan_ms(candidate)
+            with tele.phase("propose"):
+                if sample == 1 and initial is not None:
+                    candidate = initial
+                else:
+                    candidate = random_initial_solution(
+                        self.application, self.architecture, rng
+                    )
+            with tele.phase("evaluate"):
+                cost = self.evaluator.makespan_ms(candidate)
             tracker.observe(sample, cost, candidate, copy=False)
             if tracker.exhausted():
                 break
         assert tracker.result.best_solution is not None
+        tracker.record_engine(self.evaluator)
         return tracker.finish(
             evaluations=self.evaluator.evaluations - evaluations_before,
         )

@@ -116,10 +116,13 @@ class TabuSearch(SearchStrategy):
             budget.resolve_iterations(config.iterations)
             if budget is not None else config.iterations
         )
+        tele = self.telemetry
         evaluations_before = self.evaluator.evaluations
-        current_cost = self.evaluator.makespan_ms(solution)
+        with tele.phase("init"):
+            current_cost = self.evaluator.makespan_ms(solution)
         tracker = SearchTracker(
-            self.name, budget=budget, seed=config.seed, on_step=on_step
+            self.name, budget=budget, seed=config.seed, on_step=on_step,
+            telemetry=tele,
         )
         tracker.begin(current_cost, solution)
         current_costs: List[float] = [current_cost]
@@ -129,23 +132,25 @@ class TabuSearch(SearchStrategy):
             best_move: Optional[Move] = None
             best_move_cost = math.inf
             best_move_name = ""
-            for _ in range(config.candidates_per_iteration):
-                try:
-                    move = self.move_generator.propose(solution, rng)
-                    move.apply(solution)
-                except InfeasibleMoveError:
-                    continue
-                cost = self.evaluator.makespan_ms(solution)
-                move.undo(solution)
-                task = _moved_task(move)
-                is_tabu = (
-                    task is not None and tabu_until.get(task, 0) >= iteration
-                )
-                if is_tabu and cost >= tracker.result.best_cost:
-                    continue  # aspiration criterion
-                if cost < best_move_cost:
-                    best_move, best_move_cost = move, cost
-                    best_move_name = move.name
+            with tele.phase("evaluate"):
+                for _ in range(config.candidates_per_iteration):
+                    try:
+                        move = self.move_generator.propose(solution, rng)
+                        move.apply(solution)
+                    except InfeasibleMoveError:
+                        continue
+                    cost = self.evaluator.makespan_ms(solution)
+                    move.undo(solution)
+                    task = _moved_task(move)
+                    is_tabu = (
+                        task is not None
+                        and tabu_until.get(task, 0) >= iteration
+                    )
+                    if is_tabu and cost >= tracker.result.best_cost:
+                        continue  # aspiration criterion
+                    if cost < best_move_cost:
+                        best_move, best_move_cost = move, cost
+                        best_move_name = move.name
             if best_move is None:
                 current_costs.append(current_cost)
                 tracker.observe(iteration, current_cost, solution,
@@ -153,17 +158,19 @@ class TabuSearch(SearchStrategy):
                 if tracker.exhausted():
                     break
                 continue
-            best_move.apply(solution)
-            current_cost = best_move_cost
-            task = _moved_task(best_move)
-            if task is not None:
-                tabu_until[task] = iteration + config.tabu_tenure
+            with tele.phase("accept"):
+                best_move.apply(solution)
+                current_cost = best_move_cost
+                task = _moved_task(best_move)
+                if task is not None:
+                    tabu_until[task] = iteration + config.tabu_tenure
             current_costs.append(current_cost)
             tracker.observe(iteration, current_cost, solution,
                             accepted=True, move_name=best_move_name)
             if tracker.exhausted():
                 break
 
+        tracker.record_engine(self.evaluator)
         return tracker.finish(
             evaluations=self.evaluator.evaluations - evaluations_before,
             current_costs=current_costs,

@@ -414,6 +414,15 @@ def move_eval_loop(
     # report records them next to every throughput number.
     out["depth"] = compiled.depth
     out["mean_level_width"] = compiled.mean_level_width
+    resolved = getattr(evaluator.engine, "resolved_dispatch", None)
+    if resolved is not None:
+        # Where the auto dispatcher would route this graph's batches
+        # (kernel vs scalar), plus the engine's internal telemetry
+        # counters — memo/cycle-witness hit rates next to every
+        # throughput number make dispatch regressions attributable.
+        out["dispatch_route"] = resolved()
+    for name, value in sorted(evaluator.telemetry_counters().items()):
+        out[f"counter_{name}"] = value
     if time_evals_only:
         out["eval_elapsed_s"] = elapsed
     return out

@@ -12,6 +12,16 @@ Commands
                machine-readable ``BENCH_<suite>.json``, ``bench list``
                shows cases + scenarios, ``bench compare`` is the
                regression gate (non-zero exit on slowdown/drift)
+``telemetry``  inspect telemetry streams: ``telemetry summarize`` loads
+               a ``--telemetry`` JSONL file, validates it against the
+               event schema and prints the per-job scoreboard
+
+``explore``, ``sweep`` and ``portfolio`` accept ``--telemetry PATH``:
+the run records structured events (per-phase timings, engine internals,
+per-iteration samples) into a run-scoped recorder and writes the stream
+as JSONL.  Apart from timestamps the stream is deterministic: a fixed
+seed produces the same events whether the run is inline or fanned out
+with ``--jobs N``.
 
 The exploration commands are thin spec builders over the declarative
 public API (:mod:`repro.api`): flags assemble an
@@ -46,6 +56,13 @@ from repro.api.specs import (
 )
 from repro.errors import ReproError
 from repro.experiments.comparison import run_comparison
+from repro.obs.telemetry import (
+    Telemetry,
+    format_summary_table,
+    load_events,
+    summarize_events,
+    validate_events,
+)
 from repro.experiments.fig3 import format_fig3_table
 from repro.io import dump_solution
 from repro.mapping.evaluator import Evaluator
@@ -163,6 +180,24 @@ def _dump_spec(args: argparse.Namespace, request: ExplorationRequest) -> bool:
     return True
 
 
+def _telemetry_for(args: argparse.Namespace) -> Optional[Telemetry]:
+    """A run-scoped recorder when ``--telemetry PATH`` was given."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    return Telemetry(label=args.command)
+
+
+def _write_telemetry(
+    telemetry: Optional[Telemetry], args: argparse.Namespace
+) -> None:
+    if telemetry is None:
+        return
+    records = telemetry.write_jsonl_path(args.telemetry)
+    if not args.json:
+        print(f"telemetry written to {args.telemetry} "
+              f"({records} records)")
+
+
 # ----------------------------------------------------------------------
 # response rendering
 # ----------------------------------------------------------------------
@@ -228,8 +263,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
     request = _request_for(args, _explore_request)
     if _dump_spec(args, request):
         return 0
-    response = explore(request)
+    telemetry = _telemetry_for(args)
+    response = explore(request, telemetry=telemetry)
     _emit(response, args)
+    _write_telemetry(telemetry, args)
     if response.kind != "single":
         return 0
     result = response.best_result
@@ -260,10 +297,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     request = _request_for(args, _sweep_request)
     if _dump_spec(args, request):
         return 0
+    telemetry = _telemetry_for(args)
     response = explore(
-        request, jobs=args.jobs, checkpoint_path=args.checkpoint
+        request, jobs=args.jobs, checkpoint_path=args.checkpoint,
+        telemetry=telemetry,
     )
     _emit(response, args)
+    _write_telemetry(telemetry, args)
     return 0
 
 
@@ -289,8 +329,10 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
     request = _request_for(args, _portfolio_request)
     if _dump_spec(args, request):
         return 0
-    response = explore(request, jobs=args.jobs)
+    telemetry = _telemetry_for(args)
+    response = explore(request, jobs=args.jobs, telemetry=telemetry)
     _emit(response, args)
+    _write_telemetry(telemetry, args)
     return 0
 
 
@@ -396,6 +438,17 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    events = load_events(args.path)
+    validate_events(events)
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(format_summary_table(summary))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.api.resolve import resolve_application
 
@@ -479,6 +532,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (results are bit-identical "
                             "to --jobs 1 for the same seeds)")
 
+    def telemetry_flag(p):
+        p.add_argument("--telemetry", metavar="PATH",
+                       help="record structured run events (per-phase "
+                            "timings, engine internals, iteration "
+                            "samples) and write them as JSONL; "
+                            "deterministic modulo timestamps, inspect "
+                            "with 'repro telemetry summarize'")
+
     p = sub.add_parser("explore", help="run an exploration request")
     common(p)
     spec_flags(p)
@@ -498,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save", help="write the best solution JSON here")
     p.add_argument("--trace-csv", metavar="PATH",
                    help="write the per-iteration trace (Fig. 2 data) as CSV")
+    telemetry_flag(p)
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("sweep", help="device-size sweep (Fig. 3)")
@@ -511,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", metavar="PATH",
                    help="JSONL checkpoint: finished runs are reloaded, "
                         "so an interrupted sweep resumes here")
+    telemetry_flag(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="SA vs GA baseline")
@@ -530,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     parallel(p)
     p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
     p.add_argument("--clbs", type=int, default=2000)
+    telemetry_flag(p)
     p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser(
@@ -592,6 +656,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "smaller than this never count (default 0.05)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="inspect telemetry streams (summarize)",
+    )
+    tele_sub = p.add_subparsers(dest="telemetry_command", required=True)
+
+    p = tele_sub.add_parser(
+        "summarize",
+        help="validate a telemetry JSONL stream and print the "
+             "per-job scoreboard",
+    )
+    p.add_argument("path", help="telemetry JSONL written by --telemetry")
+    p.add_argument("--json", action="store_true",
+                   help="print the summary document instead of the table")
+    p.set_defaults(func=cmd_telemetry_summarize)
 
     p = sub.add_parser("info", help="describe an application")
     p.add_argument("--application")

@@ -54,3 +54,7 @@ class InfeasibleMoveError(MoveError):
 
 class ConfigurationError(ReproError):
     """Invalid user-supplied configuration for an algorithm."""
+
+
+class TelemetryError(ReproError):
+    """Malformed telemetry stream (bad JSONL, schema violation...)."""

@@ -141,6 +141,17 @@ class EvaluationEngine(ABC):
         self.evaluations = 0
 
     # ------------------------------------------------------------------
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Internal counters exposed to the telemetry layer.
+
+        Counters are plain integer attributes incremented unconditionally
+        on the hot paths (cheap, deterministic); recorders sample them
+        once at run end, so disabled telemetry costs nothing here.
+        Subclasses extend the dict with their engine-specific internals.
+        """
+        return {"evaluations": self.evaluations}
+
+    # ------------------------------------------------------------------
     def realize(self, solution: Solution) -> SearchGraph:
         """Build the search graph without computing its longest path."""
         return self.builder.build(solution)
@@ -449,6 +460,21 @@ class IncrementalEngine(EvaluationEngine):
         self._proc_memo: Dict[int, List[int]] = {}
         self._config_ids: Dict[str, int] = {}
 
+        # Internal counters sampled by the telemetry layer (plain ints,
+        # incremented unconditionally: cheaper than any enabled-check
+        # and deterministic for fixed seeds).  Reset with the memos they
+        # describe.
+        self.stat_sync_calls = 0
+        self.stat_sync_tasks = 0
+        self.stat_sync_resources = 0
+        self.stat_proc_memo_hits = 0
+        self.stat_proc_memo_misses = 0
+        self.stat_rc_stamp_hits = 0
+        self.stat_rc_content_hits = 0
+        self.stat_rc_rebuilds = 0
+        self.stat_ctx_hits = 0
+        self.stat_ctx_misses = 0
+
         # Dynamic (solution-dependent) state, reset to "never seen".
         self._dur: List[float] = [0.0] * n
         self._starts_buf: List[float] = [0.0] * n
@@ -536,9 +562,27 @@ class IncrementalEngine(EvaluationEngine):
                     self._res_kind[name] = ("?", res, is_hw)
 
     # ------------------------------------------------------------------
+    def telemetry_counters(self) -> Dict[str, int]:
+        out = super().telemetry_counters()
+        out.update(
+            sync_calls=self.stat_sync_calls,
+            sync_tasks=self.stat_sync_tasks,
+            sync_resources=self.stat_sync_resources,
+            proc_memo_hits=self.stat_proc_memo_hits,
+            proc_memo_misses=self.stat_proc_memo_misses,
+            rc_stamp_hits=self.stat_rc_stamp_hits,
+            rc_content_hits=self.stat_rc_content_hits,
+            rc_rebuilds=self.stat_rc_rebuilds,
+            ctx_hits=self.stat_ctx_hits,
+            ctx_misses=self.stat_ctx_misses,
+        )
+        return out
+
+    # ------------------------------------------------------------------
     # delta synchronization
     # ------------------------------------------------------------------
     def _sync(self, solution: Solution) -> None:
+        self.stat_sync_calls += 1
         arch = solution.architecture
         if arch.bus is not self._bus:
             # Transfer times were precomputed against another bus; this
@@ -618,6 +662,7 @@ class IncrementalEngine(EvaluationEngine):
                 m_res[i] = r
                 m_impl[i] = c
                 changed.append(i)
+            self.stat_sync_tasks += len(changed)
             if changed:
                 dur = self._dur
                 impl_ms = self._impl_ms
@@ -650,11 +695,14 @@ class IncrementalEngine(EvaluationEngine):
                 memo = self._proc_memo
                 members = memo.get(rev)
                 if members is None:
+                    self.stat_proc_memo_misses += 1
                     tid = self._tid
                     members = [tid[t] for t in solution._sw_orders[name]]
                     if len(memo) > 16384:
                         memo.clear()
                     memo[rev] = members
+                else:
+                    self.stat_proc_memo_hits += 1
                 pending.append(("p", name, members))
             elif tag == "rc":
                 triples = self._refresh_rc(
@@ -670,6 +718,7 @@ class IncrementalEngine(EvaluationEngine):
                 pending.append(("e", name, triples))
                 continue
             m_rev[name] = rev
+        self.stat_sync_resources += len(pending)
         if len(pending) == 1:
             # Common case (one or two moves touching one resource's
             # order): apply in place with the delta fast paths.
@@ -742,6 +791,8 @@ class IncrementalEngine(EvaluationEngine):
         m_impl = self._m_impl
         layouts = self._rc_memo
         entry = layouts.get(rev)
+        if entry is not None:
+            self.stat_rc_stamp_hits += 1
         config_id = self._config_ids.get(name)
         if config_id is None:
             config_id = self._interner.intern((CONFIG_NODE, name))
@@ -757,10 +808,12 @@ class IncrementalEngine(EvaluationEngine):
             content_memo = self._rc_content_memo
             entry = content_memo.get(content_key)
             if entry is not None:
+                self.stat_rc_content_hits += 1
                 if len(layouts) > 16384:
                     layouts.clear()
                 layouts[rev] = entry
         if entry is None:
+            self.stat_rc_rebuilds += 1
             impl_clbs = self._impl_clbs
             ctx_clbs: List[int] = []
             initials: List[List[int]] = []
@@ -777,6 +830,7 @@ class IncrementalEngine(EvaluationEngine):
                 key = (tuple(ctx), tuple(impl_of.get(t, 0) for t in ctx))
                 cached = memo.get(key)
                 if cached is None:
+                    self.stat_ctx_misses += 1
                     members = [tid[t] for t in ctx]
                     inside = set(members)
                     pred_ids = self._pred_ids
@@ -789,6 +843,8 @@ class IncrementalEngine(EvaluationEngine):
                          if not any(s in inside for s in succ_ids[i])],
                     )
                     memo[key] = cached
+                else:
+                    self.stat_ctx_hits += 1
                 ctx_clbs.append(cached[0])
                 initials.append(cached[1])
                 terminals.append(cached[2])
@@ -1585,6 +1641,32 @@ class ArrayEngine(IncrementalEngine):
     def kernel_batch_min_work(self, value: Optional[int]) -> None:
         self._kernel_batch_min_work = value
 
+    def resolved_dispatch(self) -> str:
+        """What ``dispatch="auto"`` resolves to for this instance:
+        ``"kernel"`` when the compiled graph is wide enough
+        (``mean_level_width >= KERNEL_MIN_MEAN_WIDTH``) for the fused
+        frontier kernels to amortize, else ``"scalar"``.  Forced modes
+        pass through unchanged.  This is the single depth-aware routing
+        rule — :class:`CrossChainEvaluator` and the bench harness both
+        consult it."""
+        if self.dispatch != "auto":
+            return self.dispatch
+        wide = self.compiled.mean_level_width >= self.KERNEL_MIN_MEAN_WIDTH
+        return "kernel" if wide else "scalar"
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        out = super().telemetry_counters()
+        out.update(
+            cycle_witness_hits=self.stat_cycle_witness_hits,
+            order_repairs=self.stat_order_repairs,
+            order_rebuilds=self.stat_order_rebuilds,
+            kernel_batches=self.stat_kernel_batches,
+            kernel_lanes=self.stat_kernel_lanes,
+            scalar_batches=self.stat_scalar_batches,
+            scalar_lanes=self.stat_scalar_lanes,
+        )
+        return out
+
     # ------------------------------------------------------------------
     # state management
     # ------------------------------------------------------------------
@@ -1623,6 +1705,15 @@ class ArrayEngine(IncrementalEngine):
         #: last scalar evaluation (disables the stable-shortcut: the
         #: mirror no longer matches the duration shadows).
         self._mirror_moved = False
+        # Telemetry counters for the order/dispatch machinery (plain
+        # ints, reset together with the order state they describe).
+        self.stat_cycle_witness_hits = 0
+        self.stat_order_repairs = 0
+        self.stat_order_rebuilds = 0
+        self.stat_kernel_batches = 0
+        self.stat_kernel_lanes = 0
+        self.stat_scalar_batches = 0
+        self.stat_scalar_lanes = 0
 
     def _grow_nodes(self) -> None:
         n = len(self._interner)
@@ -1803,6 +1894,7 @@ class ArrayEngine(IncrementalEngine):
             elif len(pending) <= self.MAX_REPAIR_EDGES:
                 verdict = self._repair(entry, pending)
                 if verdict is True:
+                    self.stat_order_repairs += 1
                     entry[2] = True
                     pending.clear()
                 elif verdict == "cycle":
@@ -1833,6 +1925,7 @@ class ArrayEngine(IncrementalEngine):
             witness = self._cycle_witness
             if witness is not None:
                 if all(self._witness_edge_live(u, v) for u, v in witness):
+                    self.stat_cycle_witness_hits += 1
                     keys = self._interner.keys()
                     self._cycle0 = exc = CycleError(
                         "realization contains a cycle",
@@ -1843,6 +1936,7 @@ class ArrayEngine(IncrementalEngine):
                     )
                     return INFEASIBLE_MS, False, comm_ms, exc
                 self._cycle_witness = None
+            self.stat_order_rebuilds += 1
             try:
                 order = self._kahn_base(n)
             except CycleError as exc:
@@ -2384,13 +2478,21 @@ class ArrayEngine(IncrementalEngine):
         if cost_function is not None and not getattr(
             cost_function, "solution_independent", False
         ):
+            self.stat_scalar_batches += 1
+            self.stat_scalar_lanes += len(moves)
             return super().evaluate_batch(solution, moves, cost_function)
         if self.dispatch == "scalar":
+            self.stat_scalar_batches += 1
+            self.stat_scalar_lanes += len(moves)
             return super().evaluate_batch(solution, moves, cost_function)
         if self.dispatch != "kernel" and (
             len(moves) * len(self._interner) < self.kernel_batch_min_work
         ):
+            self.stat_scalar_batches += 1
+            self.stat_scalar_lanes += len(moves)
             return super().evaluate_batch(solution, moves, cost_function)
+        self.stat_kernel_batches += 1
+        self.stat_kernel_lanes += len(moves)
         lanes: List[Optional[_Lane]] = []
         for move in moves:
             try:
@@ -2618,14 +2720,7 @@ class CrossChainEvaluator:
     def _resolve_dispatch(first: EvaluationEngine) -> str:
         if not isinstance(first, ArrayEngine):
             return "scalar"
-        mode = first.dispatch
-        if mode != "auto":
-            return mode
-        wide = (
-            first.compiled.mean_level_width
-            >= ArrayEngine.KERNEL_MIN_MEAN_WIDTH
-        )
-        return "kernel" if wide else "scalar"
+        return first.resolved_dispatch()
 
     # ------------------------------------------------------------------
     @property
@@ -2636,6 +2731,16 @@ class CrossChainEvaluator:
     def evaluations(self) -> int:
         """Total candidate evaluations across all chains."""
         return sum(engine.evaluations for engine in self.engines)
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Engine internals summed across all chains, plus the resolved
+        cross-chain dispatch route (0 = scalar, 1 = kernel)."""
+        out: Dict[str, int] = {}
+        for engine in self.engines:
+            for name, value in engine.telemetry_counters().items():
+                out[name] = out.get(name, 0) + value
+        out["dispatch_kernel"] = 1 if self.dispatch == "kernel" else 0
+        return out
 
     def evaluate(self, chain: int, solution: Solution) -> Evaluation:
         """Scalar evaluation of one chain's current state."""

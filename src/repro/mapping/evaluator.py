@@ -80,6 +80,11 @@ class Evaluator:
     def evaluations(self, value: int) -> None:
         self.engine.evaluations = value
 
+    def telemetry_counters(self):
+        """The engine's internal counters (see
+        :meth:`repro.mapping.engine.EvaluationEngine.telemetry_counters`)."""
+        return self.engine.telemetry_counters()
+
     # ------------------------------------------------------------------
     def realize(self, solution: Solution) -> SearchGraph:
         """Build the search graph without computing its longest path."""

@@ -210,9 +210,11 @@ class SimulatedAnnealing(SearchStrategy):
             return
         rng = random.Random(config.seed)
         solution = initial_solution
+        tele = self.telemetry
         evaluations_before = self.evaluator.evaluations
-        evaluation = self.evaluator.evaluate(solution)
-        current_cost = self.cost_function(solution, evaluation)
+        with tele.phase("init"):
+            evaluation = self.evaluator.evaluate(solution)
+            current_cost = self.cost_function(solution, evaluation)
         if not math.isfinite(current_cost):
             raise ConfigurationError("initial solution must be feasible")
 
@@ -227,11 +229,11 @@ class SimulatedAnnealing(SearchStrategy):
             seed=config.seed,
             on_step=on_step,
             keep_history=config.keep_trace,
+            telemetry=tele,
         )
         result = tracker.result
         result.move_stats = stats
         tracker.begin(current_cost, solution)
-        trace = result.trace
 
         warmup_costs = [current_cost]
         cooling = False
@@ -244,10 +246,11 @@ class SimulatedAnnealing(SearchStrategy):
             accepted = False
             move_name = "none"
             try:
-                move = self.move_generator.propose(solution, rng)
-                move_name = move.name
-                stats.record_proposed(move_name)
-                move.apply(solution)
+                with tele.phase("propose"):
+                    move = self.move_generator.propose(solution, rng)
+                    move_name = move.name
+                    stats.record_proposed(move_name)
+                    move.apply(solution)
             except InfeasibleMoveError:
                 # Infeasible draws consume an iteration (the paper's
                 # Fig. 2 x-axis counts them) but carry no thermal
@@ -258,7 +261,7 @@ class SimulatedAnnealing(SearchStrategy):
                     iteration, current_cost, solution,
                     accepted=False, move_name=move_name, stall_eligible=False,
                 )
-                self._record_trace(trace, config, iteration, current_cost,
+                self._record_trace(tracker, config, iteration, current_cost,
                                    result.best_cost, solution, False,
                                    move_name, cooling)
                 yield result
@@ -266,16 +269,18 @@ class SimulatedAnnealing(SearchStrategy):
                     break
                 continue
 
-            evaluation = self.evaluator.evaluate(solution)
-            new_cost = self.cost_function(solution, evaluation)
-            accepted = self._metropolis(current_cost, new_cost, cooling, rng)
+            with tele.phase("evaluate"):
+                evaluation = self.evaluator.evaluate(solution)
+                new_cost = self.cost_function(solution, evaluation)
 
-            if accepted:
-                current_cost = new_cost
-                stats.record_accepted(move_name)
-            else:
-                move.undo(solution)
-                stats.record_rejected(move_name)
+            with tele.phase("accept"):
+                accepted = self._metropolis(current_cost, new_cost, cooling, rng)
+                if accepted:
+                    current_cost = new_cost
+                    stats.record_accepted(move_name)
+                else:
+                    move.undo(solution)
+                    stats.record_rejected(move_name)
 
             tracker.observe(
                 iteration, current_cost, solution,
@@ -288,7 +293,7 @@ class SimulatedAnnealing(SearchStrategy):
             else:
                 self.schedule.record(current_cost, accepted)
 
-            self._record_trace(trace, config, iteration, current_cost,
+            self._record_trace(tracker, config, iteration, current_cost,
                                result.best_cost, solution, accepted,
                                move_name, cooling)
             yield result
@@ -296,6 +301,7 @@ class SimulatedAnnealing(SearchStrategy):
             if tracker.exhausted():
                 break
 
+        tracker.record_engine(self.evaluator)
         tracker.finish(
             evaluations=self.evaluator.evaluations - evaluations_before,
         )
@@ -326,9 +332,11 @@ class SimulatedAnnealing(SearchStrategy):
         rng_master = random.Random(config.seed)
         stream_base = rng_master.getrandbits(64)
         solution = initial_solution
+        tele = self.telemetry
         evaluations_before = self.evaluator.evaluations
-        evaluation = self.evaluator.evaluate(solution)
-        current_cost = self.cost_function(solution, evaluation)
+        with tele.phase("init"):
+            evaluation = self.evaluator.evaluate(solution)
+            current_cost = self.cost_function(solution, evaluation)
         if not math.isfinite(current_cost):
             raise ConfigurationError("initial solution must be feasible")
 
@@ -343,11 +351,11 @@ class SimulatedAnnealing(SearchStrategy):
             seed=config.seed,
             on_step=on_step,
             keep_history=config.keep_trace,
+            telemetry=tele,
         )
         result = tracker.result
         result.move_stats = stats
         tracker.begin(current_cost, solution)
-        trace = result.trace
 
         warmup_costs = [current_cost]
         cooling = False
@@ -356,23 +364,25 @@ class SimulatedAnnealing(SearchStrategy):
         stop = False
         while not stop and iteration < config.iterations:
             slots = []
-            for k in range(min(width, config.iterations - iteration)):
-                slot_rng = random.Random(
-                    _stream_seed(stream_base, iteration + 1 + k)
-                )
-                move = None
-                move_name = "none"
-                try:
-                    move = self.move_generator.propose(solution, slot_rng)
-                    move_name = move.name
-                except InfeasibleMoveError:
+            with tele.phase("propose"):
+                for k in range(min(width, config.iterations - iteration)):
+                    slot_rng = random.Random(
+                        _stream_seed(stream_base, iteration + 1 + k)
+                    )
                     move = None
-                slots.append((iteration + 1 + k, move, move_name, slot_rng))
-            outcomes = iter(self.evaluator.evaluate_batch(
-                solution,
-                [m for _it, m, _name, _rng in slots if m is not None],
-                self.cost_function,
-            ))
+                    move_name = "none"
+                    try:
+                        move = self.move_generator.propose(solution, slot_rng)
+                        move_name = move.name
+                    except InfeasibleMoveError:
+                        move = None
+                    slots.append((iteration + 1 + k, move, move_name, slot_rng))
+            with tele.phase("evaluate"):
+                outcomes = iter(self.evaluator.evaluate_batch(
+                    solution,
+                    [m for _it, m, _name, _rng in slots if m is not None],
+                    self.cost_function,
+                ))
             for it, move, move_name, slot_rng in slots:
                 iteration = it
                 if not cooling and it > config.warmup_iterations:
@@ -390,7 +400,7 @@ class SimulatedAnnealing(SearchStrategy):
                         accepted=False, move_name=move_name,
                         stall_eligible=False,
                     )
-                    self._record_trace(trace, config, it, current_cost,
+                    self._record_trace(tracker, config, it, current_cost,
                                        result.best_cost, solution, False,
                                        move_name, cooling)
                     yield result
@@ -419,7 +429,7 @@ class SimulatedAnnealing(SearchStrategy):
                     warmup_costs.append(current_cost)
                 else:
                     self.schedule.record(current_cost, accepted)
-                self._record_trace(trace, config, it, current_cost,
+                self._record_trace(tracker, config, it, current_cost,
                                    result.best_cost, solution, accepted,
                                    move_name, cooling)
                 yield result
@@ -429,6 +439,7 @@ class SimulatedAnnealing(SearchStrategy):
                 if accepted:
                     break  # discard speculative candidates, re-propose
 
+        tracker.record_engine(self.evaluator)
         tracker.finish(
             evaluations=self.evaluator.evaluations - evaluations_before,
         )
@@ -451,7 +462,7 @@ class SimulatedAnnealing(SearchStrategy):
 
     def _record_trace(
         self,
-        trace,
+        tracker: SearchTracker,
         config: AnnealerConfig,
         iteration: int,
         current_cost: float,
@@ -462,7 +473,7 @@ class SimulatedAnnealing(SearchStrategy):
         cooling: bool,
     ) -> None:
         if config.keep_trace:
-            trace.append(
+            tracker.record_trace(
                 TraceRecord(
                     iteration=iteration,
                     temperature=self.schedule.temperature if cooling else math.inf,

@@ -171,6 +171,7 @@ class DesignSpaceExplorer(SearchStrategy):
         the best and initial solutions in ``extras``."""
         solution = initial if initial is not None else self.initial_solution()
         initial_evaluation = self.evaluator.evaluate(solution)
+        self.annealer.telemetry = self.telemetry
         annealing = self.annealer.search(
             solution, budget=budget, on_step=on_step
         )

@@ -234,15 +234,17 @@ class PopulationAnnealer(SearchStrategy):
             for c in range(K)
         ]
         solutions = self._initials(initial, init_base)
+        tele = self.telemetry
 
         evaluations_before = evaluator.evaluations
-        initial_evaluations = [
-            evaluator.evaluate(c, solutions[c]) for c in range(K)
-        ]
-        current = [
-            cost_function(solutions[c], initial_evaluations[c])
-            for c in range(K)
-        ]
+        with tele.phase("init"):
+            initial_evaluations = [
+                evaluator.evaluate(c, solutions[c]) for c in range(K)
+            ]
+            current = [
+                cost_function(solutions[c], initial_evaluations[c])
+                for c in range(K)
+            ]
         if not all(math.isfinite(cost) for cost in current):
             raise ConfigurationError("initial solution must be feasible")
 
@@ -259,12 +261,12 @@ class PopulationAnnealer(SearchStrategy):
             seed=config.seed,
             on_step=on_step,
             keep_history=config.keep_trace,
+            telemetry=tele,
         )
         result = tracker.result
         result.move_stats = stats
         lead = min(range(K), key=lambda c: (current[c], c))
         tracker.begin(current[lead], solutions[lead])
-        trace = result.trace
 
         # Temperature slots: chain c starts in slot c; exchange swaps
         # the assignment, never the solutions.
@@ -294,49 +296,57 @@ class PopulationAnnealer(SearchStrategy):
 
             moves = []
             names = []
-            for c in range(K):
-                move = None
-                move_name = "none"
-                try:
-                    move = self.move_generator.propose(solutions[c], rngs[c])
-                    move_name = move.name
-                    stats.record_proposed(move_name)
-                except InfeasibleMoveError:
+            with tele.phase("propose"):
+                for c in range(K):
                     move = None
-                moves.append(move)
-                names.append(move_name)
+                    move_name = "none"
+                    try:
+                        move = self.move_generator.propose(
+                            solutions[c], rngs[c]
+                        )
+                        move_name = move.name
+                        stats.record_proposed(move_name)
+                    except InfeasibleMoveError:
+                        move = None
+                    moves.append(move)
+                    names.append(move_name)
 
-            outcomes = evaluator.propose_moves(solutions, moves, cost_function)
+            with tele.phase("evaluate"):
+                outcomes = evaluator.propose_moves(
+                    solutions, moves, cost_function
+                )
 
             accepted = [False] * K
             feasible = [False] * K
-            for c in range(K):
-                outcome = outcomes[c]
-                if outcome is None:
-                    # Null draw or infeasible application: the round
-                    # counts, but carries no thermal information for
-                    # this chain (and no transaction is open).
-                    stats.record_infeasible(names[c])
-                    continue
-                _evaluation, new_cost = outcome
-                feasible[c] = True
-                s = slot_of_chain[c]
-                accept = self._metropolis(
-                    current[c], new_cost, cooling, rngs[c],
-                    schedules[s].temperature * factors[s]
-                    if cooling else math.inf,
-                )
-                # Commit-on-accept: on the persistent path an accepted
-                # move is already applied with its engine synced (no
-                # undo/re-apply/re-diff); a reject undoes the move and
-                # the engine's next delta-sync absorbs the reverse patch.
-                evaluator.resolve(c, solutions[c], moves[c], accept)
-                if accept:
-                    current[c] = new_cost
-                    stats.record_accepted(names[c])
-                else:
-                    stats.record_rejected(names[c])
-                accepted[c] = accept
+            with tele.phase("accept"):
+                for c in range(K):
+                    outcome = outcomes[c]
+                    if outcome is None:
+                        # Null draw or infeasible application: the round
+                        # counts, but carries no thermal information for
+                        # this chain (and no transaction is open).
+                        stats.record_infeasible(names[c])
+                        continue
+                    _evaluation, new_cost = outcome
+                    feasible[c] = True
+                    s = slot_of_chain[c]
+                    accept = self._metropolis(
+                        current[c], new_cost, cooling, rngs[c],
+                        schedules[s].temperature * factors[s]
+                        if cooling else math.inf,
+                    )
+                    # Commit-on-accept: on the persistent path an
+                    # accepted move is already applied with its engine
+                    # synced (no undo/re-apply/re-diff); a reject undoes
+                    # the move and the engine's next delta-sync absorbs
+                    # the reverse patch.
+                    evaluator.resolve(c, solutions[c], moves[c], accept)
+                    if accept:
+                        current[c] = new_cost
+                        stats.record_accepted(names[c])
+                    else:
+                        stats.record_rejected(names[c])
+                    accepted[c] = accept
 
             lead = min(range(K), key=lambda c: (current[c], c))
             tracker.observe(
@@ -357,7 +367,7 @@ class PopulationAnnealer(SearchStrategy):
 
             if config.keep_trace:
                 cold = chain_in_slot[0]
-                trace.append(
+                tracker.record_trace(
                     TraceRecord(
                         iteration=iteration,
                         temperature=(
@@ -419,6 +429,10 @@ class PopulationAnnealer(SearchStrategy):
             else None
         )
         lead = min(range(K), key=lambda c: (current[c], c))
+        if tele.enabled:
+            tele.count("swap_attempts", swap_attempts)
+            tele.count("swap_accepts", swap_accepts)
+        tracker.record_engine(evaluator)
         return tracker.finish(
             evaluations=evaluations,
             best_evaluation=best_evaluation,

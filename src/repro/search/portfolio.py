@@ -125,8 +125,13 @@ def run_portfolio(
     kinds: Sequence[str] = PORTFOLIO_KINDS,
     checkpoint_path: Optional[str] = None,
     warmup_iterations: Optional[int] = None,
+    telemetry=None,
 ) -> List[PortfolioEntry]:
-    """Race ``kinds`` on one instance; entries sorted best-first."""
+    """Race ``kinds`` on one instance; entries sorted best-first.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) collects
+    every racer's event stream, merged deterministically by the runner.
+    """
     if not kinds:
         raise ConfigurationError("portfolio needs at least one strategy kind")
     instance = InstanceSpec(
@@ -141,7 +146,8 @@ def run_portfolio(
         for spec, s in zip(specs, seeds)
     ]
     outcomes = run_search_jobs(
-        job_list, jobs=jobs, checkpoint_path=checkpoint_path
+        job_list, jobs=jobs, checkpoint_path=checkpoint_path,
+        telemetry=telemetry,
     )
     entries = [
         PortfolioEntry(

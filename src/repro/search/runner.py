@@ -156,6 +156,12 @@ class SearchJob:
     on top of the strategy's own iteration budget (note: the budget is
     not part of the checkpoint fingerprint — keep it out of
     checkpointed batches whose limits you intend to vary).
+
+    ``telemetry`` is a plain-dict recorder config (see
+    :meth:`repro.obs.telemetry.Telemetry.job_config`); when set, the
+    worker builds a private recorder for its run and ships the exported
+    event stream back inside ``result.extras["telemetry"]``.  Like the
+    budget, it is not part of the checkpoint fingerprint.
     """
 
     strategy: StrategySpec
@@ -164,6 +170,7 @@ class SearchJob:
     tag: Any = None
     initial: Optional[Solution] = None
     budget: Optional[SearchBudget] = None
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -335,11 +342,26 @@ def build_strategy(
 # execution
 # ----------------------------------------------------------------------
 def _execute_job(payload: Tuple[int, SearchJob]) -> Tuple[int, SearchResult]:
-    """Worker entry point (top-level, hence spawn-picklable)."""
+    """Worker entry point (top-level, hence spawn-picklable).
+
+    When the job carries a telemetry config, the worker runs with its
+    own private recorder and ships the exported stream back inside
+    ``result.extras["telemetry"]`` — the parent absorbs the streams in
+    submission-index order, so the merged stream is deterministic no
+    matter how many workers raced.
+    """
     index, job = payload
     application, architecture = job.instance.build()
     strategy = build_strategy(job.strategy, application, architecture, job.seed)
+    recorder = None
+    if job.telemetry is not None:
+        from repro.obs.telemetry import Telemetry
+
+        recorder = Telemetry(label=job.strategy.kind, **job.telemetry)
+        strategy.telemetry = recorder
     result = strategy.search(job.initial, budget=job.budget)
+    if recorder is not None:
+        result.extras["telemetry"] = recorder.export()
     return index, result
 
 
@@ -457,6 +479,7 @@ def run_search_jobs(
     checkpoint_path: Optional[str] = None,
     base_seed: int = 0,
     start_method: str = "spawn",
+    telemetry=None,
 ) -> List[JobOutcome]:
     """Execute a batch of search jobs, ``jobs`` processes at a time.
 
@@ -468,15 +491,26 @@ def run_search_jobs(
 
     ``checkpoint_path`` (JSONL, append-only) makes the batch resumable:
     finished jobs found there are reloaded instead of re-run.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) gives every
+    job its own worker-side recorder; the per-job streams are merged
+    into the given recorder in submission-index order once all jobs have
+    finished, so the merged stream (minus timestamps) is byte-identical
+    across ``jobs=N``.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
     sealed: List[SearchJob] = []
     derived = derive_seeds(base_seed, len(job_list))
+    job_telemetry = (
+        telemetry.job_config() if telemetry is not None else None
+    )
     for position, job in enumerate(job_list):
         job.strategy.validate()
         if job.seed is None:
             job = dataclasses.replace(job, seed=derived[position])
+        if job_telemetry is not None and job.telemetry is None:
+            job = dataclasses.replace(job, telemetry=job_telemetry)
         sealed.append(job)
 
     outcomes: Dict[int, JobOutcome] = {}
@@ -534,4 +568,19 @@ def run_search_jobs(
         if checkpoint_handle is not None:
             checkpoint_handle.close()
 
-    return [outcomes[index] for index in range(len(sealed))]
+    ordered = [outcomes[index] for index in range(len(sealed))]
+    if telemetry is not None:
+        # Deterministic merge: always in submission-index order, after
+        # every job has finished, regardless of worker completion order.
+        for outcome in ordered:
+            payload = outcome.result.extras.pop("telemetry", None)
+            if outcome.from_checkpoint and telemetry.enabled:
+                telemetry.event(
+                    "job_restored",
+                    job=outcome.index,
+                    tag=outcome.tag,
+                    seed=outcome.seed,
+                    kind=sealed[outcome.index].strategy.kind,
+                )
+            telemetry.absorb(outcome.index, outcome.tag, payload)
+    return ordered

@@ -28,6 +28,7 @@ from typing import Any, Callable, ClassVar, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.mapping.solution import Solution
+from repro.obs.telemetry import NULL
 
 
 @dataclass(frozen=True)
@@ -143,11 +144,16 @@ class SearchTracker:
         seed: Optional[int] = None,
         on_step: Optional[StepCallback] = None,
         keep_history: bool = True,
+        telemetry=None,
     ) -> None:
         self.budget = budget if budget is not None else SearchBudget()
         self.budget.validate()
         self.on_step = on_step
         self.keep_history = keep_history
+        #: Telemetry recorder (:data:`repro.obs.telemetry.NULL` when
+        #: disabled).  Hot-path emissions are guarded by ``.enabled`` so
+        #: the disabled case does no payload construction at all.
+        self.telemetry = telemetry if telemetry is not None else NULL
         self.result = SearchResult(strategy=strategy, seed=seed)
         self.stall = 0
         self._started = time.perf_counter()
@@ -169,6 +175,15 @@ class SearchTracker:
                 self.result.best_solution = solution.copy()
             if self.keep_history:
                 self.result.history.append(cost)
+        tele = self.telemetry
+        if tele.enabled:
+            tele.event(
+                "search_begin",
+                strategy=self.result.strategy,
+                seed=self.result.seed,
+                iterations=self.budget.iterations,
+                initial_cost=cost,
+            )
 
     def observe(
         self,
@@ -211,6 +226,23 @@ class SearchTracker:
                 accepted=accepted,
                 move_name=move_name,
             ))
+        tele = self.telemetry
+        if tele.enabled:
+            tele.count("iterations")
+            if accepted:
+                tele.count("accepted_moves")
+            if improved:
+                tele.count("improvements")
+            interval = tele.step_interval
+            if interval and iteration % interval == 0:
+                tele.event(
+                    "step",
+                    iteration=iteration,
+                    cost=cost,
+                    best_cost=result.best_cost,
+                    accepted=accepted,
+                    move=move_name,
+                )
         return improved
 
     def exhausted(self) -> bool:
@@ -240,7 +272,38 @@ class SearchTracker:
         if evaluations is not None:
             result.evaluations = evaluations
         result.extras.update(extras)
+        tele = self.telemetry
+        if tele.enabled:
+            tele.count("evaluations", result.evaluations)
+            tele.event(
+                "search_end",
+                strategy=result.strategy,
+                seed=result.seed,
+                best_cost=result.best_cost,
+                final_cost=result.final_cost,
+                iterations=result.iterations_run,
+                evaluations=result.evaluations,
+                runtime_s=result.runtime_s,
+            )
         return result
+
+    # ------------------------------------------------------------------
+    def record_trace(self, record: Any) -> None:
+        """Append one Fig. 2-style :class:`~repro.sa.trace.TraceRecord`
+        to ``result.trace`` — the shared trace path used by both
+        annealing strategies (``--trace-csv`` reads ``result.trace``)."""
+        self.result.trace.append(record)
+
+    def record_engine(self, source: Any) -> None:
+        """Sample an engine's / evaluator's internal counters into the
+        telemetry recorder (prefix ``engine.``); a no-op when telemetry
+        is disabled or ``source`` exposes no counters."""
+        tele = self.telemetry
+        if not tele.enabled or source is None:
+            return
+        counters = getattr(source, "telemetry_counters", None)
+        if counters is not None:
+            tele.counts(counters(), prefix="engine.")
 
 
 class SearchStrategy(abc.ABC):
@@ -255,6 +318,12 @@ class SearchStrategy(abc.ABC):
 
     #: Stable identifier, also the ``StrategySpec.kind`` registry key.
     name: ClassVar[str] = "?"
+
+    #: Telemetry recorder the strategy feeds (class default: the shared
+    #: disabled singleton).  The runner assigns a per-job recorder on
+    #: the built instance before calling :meth:`search`; strategies pass
+    #: it to their :class:`SearchTracker`.
+    telemetry = NULL
 
     @abc.abstractmethod
     def search(

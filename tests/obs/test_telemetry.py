@@ -1,0 +1,258 @@
+"""Telemetry recorder unit tests: recording, framing, merge, schema.
+
+The load-bearing guarantee is the determinism contract: every
+wall-clock quantity lives under ``ts`` or a ``*_s`` key, so
+:func:`strip_times` leaves a fixed-seed stream byte-identical across
+runs (the cross-process half is pinned in ``test_determinism.py``).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.telemetry import (
+    EVENT_SCHEMA_VERSION,
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    canonical_stream,
+    format_summary_table,
+    load_events,
+    strip_times,
+    summarize_events,
+    validate_events,
+)
+
+
+class TestRecording:
+    def test_event_carries_ts_and_kind(self):
+        tele = Telemetry(label="t")
+        tele.event("search_begin", seed=7, strategy="sa")
+        (rec,) = tele.events
+        assert rec["kind"] == "search_begin"
+        assert rec["seed"] == 7
+        assert isinstance(rec["ts"], float)
+
+    def test_counters_accumulate(self):
+        tele = Telemetry()
+        tele.count("iterations")
+        tele.count("iterations", 4)
+        tele.counts({"hits": 2, "misses": 1}, prefix="engine.")
+        tele.counts({"hits": 3}, prefix="engine.")
+        assert tele.counters == {
+            "iterations": 5, "engine.hits": 5, "engine.misses": 1,
+        }
+
+    def test_gauge_is_last_write(self):
+        tele = Telemetry()
+        tele.gauge("temperature", 10.0)
+        tele.gauge("temperature", 2.5)
+        assert tele.gauges == {"temperature": 2.5}
+
+    def test_phase_accumulates_suffixed_timer(self):
+        tele = Telemetry()
+        with tele.phase("evaluate"):
+            pass
+        with tele.phase("evaluate"):
+            pass
+        assert set(tele.timers) == {"evaluate_s"}
+        assert tele.timers["evaluate_s"] >= 0.0
+
+    def test_enabled_flags(self):
+        assert Telemetry().enabled is True
+        assert NULL.enabled is False
+
+
+class TestNullTelemetry:
+    def test_all_operations_are_noops(self):
+        null = NullTelemetry()
+        null.event("x", a=1)
+        null.count("c")
+        null.counts({"c": 2})
+        null.gauge("g", 1)
+        with null.phase("p"):
+            pass
+
+    def test_phase_span_is_shared(self):
+        # The disabled hot path must not allocate per call.
+        assert NULL.phase("a") is NULL.phase("b")
+
+
+class TestStripTimes:
+    def test_drops_ts_and_seconds_keys_recursively(self):
+        rec = {
+            "ts": 1.0,
+            "kind": "search_end",
+            "runtime_s": 3.5,
+            "nested": {"ts": 2.0, "elapsed_s": 1.0, "cost": 5.0},
+            "list": [{"ts": 3.0, "n": 1}],
+        }
+        assert strip_times(rec) == {
+            "kind": "search_end",
+            "nested": {"cost": 5.0},
+            "list": [{"n": 1}],
+        }
+
+    def test_canonical_stream_is_key_sorted(self):
+        events = [{"kind": "a", "ts": 1.0, "z": 1, "b": 2}]
+        assert canonical_stream(events) == '{"b": 2, "kind": "a", "z": 1}'
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_load_then_validate(self, tmp_path):
+        tele = Telemetry(label="roundtrip")
+        tele.event("search_begin", seed=1)
+        tele.count("iterations", 10)
+        with tele.phase("evaluate"):
+            pass
+        path = str(tmp_path / "tele.jsonl")
+        records = tele.write_jsonl_path(path)
+        events = load_events(path)
+        assert len(events) == records == 3  # header + 1 event + summary
+        validate_events(events)
+        assert events[0]["kind"] == "run_header"
+        assert events[0]["schema_version"] == EVENT_SCHEMA_VERSION
+        assert events[0]["label"] == "roundtrip"
+        assert events[-1]["kind"] == "run_summary"
+        assert events[-1]["counters"] == {"iterations": 10}
+        assert "evaluate_s" in events[-1]["timers"]
+
+    def test_write_jsonl_is_sorted_json(self):
+        tele = Telemetry()
+        tele.event("z_event", zebra=1, alpha=2)
+        stream = io.StringIO()
+        tele.write_jsonl(stream)
+        for line in stream.getvalue().splitlines():
+            rec = json.loads(line)
+            assert list(rec) == sorted(rec)
+
+    def test_load_events_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(TelemetryError, match="bad.jsonl:2"):
+            load_events(str(path))
+
+
+class TestValidate:
+    def header(self):
+        return {
+            "ts": 0.0, "kind": "run_header",
+            "schema_version": EVENT_SCHEMA_VERSION, "label": None,
+            "step_interval": 100,
+        }
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(TelemetryError, match="empty"):
+            validate_events([])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TelemetryError, match="run_header"):
+            validate_events([{"ts": 0.0, "kind": "step"}])
+
+    def test_unknown_schema_version_rejected(self):
+        head = self.header()
+        head["schema_version"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(TelemetryError, match="schema_version"):
+            validate_events([head])
+
+    def test_missing_ts_rejected(self):
+        with pytest.raises(TelemetryError, match="missing required key"):
+            validate_events([self.header(), {"kind": "step"}])
+
+    def test_non_numeric_ts_rejected(self):
+        with pytest.raises(TelemetryError, match="'ts' must be a number"):
+            validate_events([self.header(), {"ts": True, "kind": "step"}])
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(TelemetryError, match="non-empty"):
+            validate_events([self.header(), {"ts": 0.0, "kind": ""}])
+
+    def test_unserializable_payload_rejected(self):
+        bad = {"ts": 0.0, "kind": "step", "payload": object()}
+        with pytest.raises(TelemetryError, match="serializable"):
+            validate_events([self.header(), bad])
+
+
+class TestAbsorb:
+    def worker_payload(self, label, cost):
+        worker = Telemetry(label=label)
+        worker.event("search_begin", seed=1)
+        worker.event("search_end", best_cost=cost, runtime_s=0.5)
+        worker.count("iterations", 10)
+        with worker.phase("evaluate"):
+            pass
+        worker.gauge("final", cost)
+        return worker.export()
+
+    def test_events_tagged_and_stats_summed(self):
+        parent = Telemetry(label="parent")
+        parent.absorb(0, "sa", self.worker_payload("sa", 5.0))
+        parent.absorb(1, "tabu", self.worker_payload("tabu", 4.0))
+        assert [e["job"] for e in parent.events] == [0, 0, 1, 1]
+        assert [e["tag"] for e in parent.events] == ["sa", "sa", "tabu", "tabu"]
+        assert parent.counters == {"iterations": 20}
+        assert set(parent.timers) == {"evaluate_s"}
+        assert parent.gauges == {"final": 4.0}
+
+    def test_absorb_none_is_noop(self):
+        parent = Telemetry()
+        parent.absorb(0, "sa", None)
+        assert parent.events == []
+
+    def test_existing_tag_not_overwritten(self):
+        worker = Telemetry()
+        worker.event("custom", tag="inner")
+        parent = Telemetry()
+        parent.absorb(3, "outer", worker.export())
+        assert parent.events[0]["tag"] == "inner"
+        assert parent.events[0]["job"] == 3
+
+    def test_job_config_round_trip(self):
+        parent = Telemetry(step_interval=25)
+        worker = Telemetry(label="w", **parent.job_config())
+        assert worker.step_interval == 25
+
+
+class TestSummarize:
+    def stream(self):
+        tele = Telemetry(label="demo")
+        tele.event("search_begin", seed=1, strategy="sa")
+        tele.event("step", iteration=100, cost=9.0)
+        tele.event(
+            "search_end", strategy="sa", best_cost=5.5,
+            iterations=200, evaluations=150, runtime_s=0.8,
+        )
+        tele.count("iterations", 200)
+        with tele.phase("evaluate"):
+            pass
+        stream = io.StringIO()
+        tele.write_jsonl(stream)
+        stream.seek(0)
+        return [json.loads(line) for line in stream]
+
+    def test_summarize_counts_and_jobs(self):
+        summary = summarize_events(self.stream())
+        assert summary["label"] == "demo"
+        assert summary["kinds"]["step"] == 1
+        assert summary["counters"] == {"iterations": 200}
+        assert summary["jobs"]["run"]["best_cost"] == 5.5
+        assert summary["jobs"]["run"]["strategy"] == "sa"
+
+    def test_format_summary_table(self):
+        text = format_summary_table(summarize_events(self.stream()))
+        assert "demo" in text
+        assert "sa" in text
+        assert "5.500" in text
+        assert "iterations" in text
+
+    def test_format_handles_missing_fields(self):
+        events = [
+            {"ts": 0.0, "kind": "run_header",
+             "schema_version": EVENT_SCHEMA_VERSION, "label": None},
+            {"ts": 0.0, "kind": "search_end"},
+        ]
+        text = format_summary_table(summarize_events(events))
+        assert "unlabeled run" in text
+        assert "-" in text

@@ -73,6 +73,63 @@ class TestExplore:
         assert lines[0].startswith("iteration,temperature,")
         assert len(lines) == 201  # header + one row per iteration
 
+    def test_trace_csv_with_tempering(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        assert main([
+            "explore", "--strategy", "tempering", "--chains", "3",
+            "--iterations", "60", "--warmup", "12",
+            "--seed", "1", "--trace-csv", str(path),
+        ]) == 0
+        assert "trace saved" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("iteration,temperature,")
+        assert len(lines) == 61  # header + one row per round
+
+
+class TestTelemetry:
+    def test_explore_writes_schema_valid_stream(self, tmp_path, capsys):
+        from repro.obs.telemetry import load_events, validate_events
+
+        path = tmp_path / "tele.jsonl"
+        assert main([
+            "explore", "--iterations", "200", "--warmup", "40",
+            "--seed", "1", "--telemetry", str(path),
+        ]) == 0
+        assert "telemetry written" in capsys.readouterr().out
+        events = load_events(str(path))
+        validate_events(events)
+        kinds = {e["kind"] for e in events}
+        assert {"run_header", "search_begin", "search_end",
+                "run_summary"} <= kinds
+
+    def test_summarize_renders_scoreboard(self, tmp_path, capsys):
+        path = tmp_path / "tele.jsonl"
+        main([
+            "portfolio", "--iterations", "60", "--warmup", "12",
+            "--telemetry", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "search_end" in out
+        assert "sa" in out
+
+    def test_summarize_json_and_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "tele.jsonl"
+        main([
+            "explore", "--iterations", "120", "--warmup", "24",
+            "--telemetry", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["iterations"] == 120
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"no": "header"}\n')
+        assert main(["telemetry", "summarize", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestSweep:
     def test_two_sizes(self, capsys):

@@ -14,7 +14,7 @@ REPRO_SURFACE = sorted([
     # errors
     "ReproError", "GraphError", "CycleError", "ModelError",
     "ArchitectureError", "CapacityError", "MappingError", "MoveError",
-    "InfeasibleMoveError", "ConfigurationError",
+    "InfeasibleMoveError", "ConfigurationError", "TelemetryError",
     # graph
     "Dag", "PathCountClosure", "MaxPlusClosure",
     # model
@@ -39,6 +39,8 @@ REPRO_SURFACE = sorted([
     "SearchStrategy", "SearchBudget", "SearchResult",
     "StrategySpec", "InstanceSpec", "SearchJob",
     "run_search_jobs", "run_portfolio", "derive_seeds",
+    # observability
+    "Telemetry",
     # declarative public API
     "api", "ApplicationSpec", "ArchitectureSpec", "BudgetSpec",
     "EngineSpec", "ExplorationRequest", "ExplorationResponse",
