@@ -49,6 +49,7 @@ from repro.errors import (
     InfeasibleMoveError,
     ConfigurationError,
     TelemetryError,
+    ServiceError,
 )
 from repro.graph import Dag, PathCountClosure, MaxPlusClosure
 from repro.model import (
@@ -113,6 +114,7 @@ from repro.search import (
     run_search_jobs,
 )
 from repro.obs import Telemetry
+from repro.service import ExplorationService, ResultStore, run_workers
 from repro import api
 from repro.api import (
     ApplicationSpec,
@@ -125,13 +127,14 @@ from repro.api import (
     load_request,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # errors
     "ReproError", "GraphError", "CycleError", "ModelError",
     "ArchitectureError", "CapacityError", "MappingError", "MoveError",
     "InfeasibleMoveError", "ConfigurationError", "TelemetryError",
+    "ServiceError",
     # graph
     "Dag", "PathCountClosure", "MaxPlusClosure",
     # model
@@ -158,6 +161,8 @@ __all__ = [
     "run_search_jobs", "run_portfolio", "derive_seeds",
     # observability
     "Telemetry",
+    # exploration service
+    "ExplorationService", "ResultStore", "run_workers",
     # declarative public API (note: repro.api.StrategySpec is the
     # spec-layer strategy document; repro.StrategySpec stays the
     # runner-level job spec)

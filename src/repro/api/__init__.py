@@ -49,6 +49,7 @@ from repro.api.facade import (
     environment_stamp,
     evaluation_to_dict,
     explore,
+    load_response,
 )
 
 __all__ = [
@@ -75,4 +76,5 @@ __all__ = [
     "environment_stamp",
     "evaluation_to_dict",
     "explore",
+    "load_response",
 ]

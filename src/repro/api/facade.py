@@ -159,6 +159,16 @@ class ExplorationResponse:
             ) from None
         return cls.from_dict(data)
 
+    # -- disk round-trip -----------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the envelope to ``path``; returns the exact text
+        written (what :func:`load_response` reads back byte-identically
+        — the contract the service's result store relies on)."""
+        text = self.to_json()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return text
+
     # -- convenience views ---------------------------------------------
     @property
     def best_outcome(self) -> Optional[JobOutcome]:
@@ -171,6 +181,22 @@ class ExplorationResponse:
     def best_result(self):
         outcome = self.best_outcome
         return None if outcome is None else outcome.result
+
+
+def load_response(path: str) -> ExplorationResponse:
+    """Read an envelope written by :meth:`ExplorationResponse.save` (or
+    by the service's result store).  ``load_response(p).to_json()`` is
+    byte-identical to the file's content: the outer key order is fixed
+    by ``to_dict`` and every nested document passes through with its
+    written order preserved."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read response file: {exc}"
+        ) from None
+    return ExplorationResponse.from_json(text)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ one pipeline that materializes them into concrete model / architecture
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -543,6 +544,29 @@ class ExplorationRequest(_SpecBase):
     def to_json(self, indent: int = 2) -> str:
         """Canonical full-form JSON (byte-stable across round trips)."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    def canonical_json(self) -> str:
+        """The hashing form: key-sorted, separator-minimal full-form
+        JSON.  Key sorting makes the bytes independent of spec-key
+        ordering (and of ``PYTHONHASHSEED``); the full form makes them
+        sensitive to every semantic field, defaulted or not."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json` — the request's
+        content address.
+
+        Byte-stable across processes, runs and machines: two requests
+        hash equal exactly when they describe the same workload
+        document.  The exploration service composes this with the
+        resolved instance hash to key its result cache; the golden
+        fixtures in ``tests/api/test_content_hash.py`` pin the digests.
+        """
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ExplorationRequest":

@@ -339,6 +339,74 @@ def _population_vs_sequential(
 
 
 # ----------------------------------------------------------------------
+# exploration service: cold compute vs warm cache hit
+# ----------------------------------------------------------------------
+@bench_case(
+    name="service/cache_hit@motion",
+    suites=("quick", "full"),
+    scenarios=("motion/2000",),
+)
+def _service_cache_hit(context: BenchContext, state: Any) -> Dict[str, Any]:
+    """Cold submit+compute vs warm cache lookup through the service.
+
+    Each timed run builds a *fresh* temp store (the harness repeats the
+    body, and the cold path must actually be cold), submits one annealer
+    request, drains it inline, then submits the identical request again
+    and serves it from the cache.  The headline metric is the hit/miss
+    latency ratio — how much a content-addressed hit saves over
+    recomputing."""
+    import shutil
+    import tempfile
+
+    from repro.service import ExplorationService
+
+    request = ExplorationRequest(
+        kind="single",
+        application=ApplicationSpec(kind="builtin", name="motion"),
+        strategy=ApiStrategySpec("sa", {"keep_trace": False}),
+        budget=BudgetSpec(
+            iterations=context.iterations,
+            warmup_iterations=_scaled_warmup(context.iterations),
+        ),
+        seed=context.seed,
+    )
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        service = ExplorationService(root)
+        started = time.perf_counter()
+        cold = service.submit(request)
+        executed = service.run_local()
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = service.submit(request)
+        warm_s = time.perf_counter() - started
+        record = service.status(cold.key)
+        return {
+            "cold_submit_s": cold_s,
+            "warm_lookup_s": warm_s,
+            "hit_miss_latency_ratio": cold_s / max(warm_s, 1e-9),
+            "cold_status": cold.status,
+            "warm_status": warm.status,
+            "executions": record.attempts,
+            "cache_hits": record.hits,
+            "jobs_executed": executed,
+            "evaluations": sum(
+                r["evaluations"] for r in warm.response.results
+            ),
+            "report": (
+                f"service cache (motion, {context.iterations} iterations)\n"
+                f"{'path':<14} {'seconds':>10}\n"
+                f"{'cold compute':<14} {cold_s:>10.4f}\n"
+                f"{'warm hit':<14} {warm_s:>10.4f}\n"
+                f"hit/miss latency ratio: "
+                f"{cold_s / max(warm_s, 1e-9):.0f}x"
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 # pure-analysis and kernel cases (quick + full)
 # ----------------------------------------------------------------------
 @bench_case(

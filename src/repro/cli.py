@@ -15,6 +15,12 @@ Commands
 ``telemetry``  inspect telemetry streams: ``telemetry summarize`` loads
                a ``--telemetry`` JSONL file, validates it against the
                event schema and prints the per-job scoreboard
+``serve``      exploration service over a content-addressed result
+               store: ``serve submit`` is cache-first (identical
+               requests dedupe to one computation), ``serve
+               run-workers`` drains the queue with N crash-safe worker
+               processes, ``serve status|result|stats|gc`` inspect and
+               prune the store
 
 ``explore``, ``sweep`` and ``portfolio`` accept ``--telemetry PATH``:
 the run records structured events (per-phase timings, engine internals,
@@ -449,6 +455,168 @@ def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_request(args: argparse.Namespace) -> ExplorationRequest:
+    """The default ``serve submit`` workload: one annealer run.  Richer
+    shapes (batch, portfolio, sweep) come in through ``--spec``."""
+    return ExplorationRequest(
+        kind="single",
+        application=_application_spec(args.application),
+        architecture=_architecture_spec(args.architecture, args.clbs),
+        strategy=StrategySpec("sa", {"keep_trace": False}),
+        budget=_budget_spec(args),
+        engine=_engine_spec(args),
+        seed=args.seed,
+    )
+
+
+def _serve_service(args: argparse.Namespace, telemetry=None, create=True):
+    # Only ``serve submit`` creates the store; the inspection commands
+    # open it read-style so a mistyped --store path is an error, not a
+    # silently minted empty store.
+    from repro.service import ExplorationService
+
+    if telemetry is None:
+        return ExplorationService(args.store, create=create)
+    return ExplorationService(args.store, telemetry=telemetry, create=create)
+
+
+def _print_record(record) -> None:
+    print(f"key:      {record.key}")
+    print(f"status:   {record.status}")
+    print(f"attempts: {record.attempts}   hits: {record.hits}")
+    if record.worker:
+        print(f"worker:   {record.worker}")
+    if record.error:
+        print(f"error:    {record.error}")
+    print("history:")
+    for entry in record.history:
+        line = f"  {entry['status']}"
+        if "worker" in entry:
+            line += f" by {entry['worker']}"
+        if "error" in entry:
+            line += f" ({entry['error']})"
+        print(line)
+
+
+def cmd_serve_submit(args: argparse.Namespace) -> int:
+    request = _request_for(args, _serve_request)
+    if _dump_spec(args, request):
+        return 0
+    telemetry = _telemetry_for(args)
+    service = _serve_service(args, telemetry)
+    outcome = service.submit(request)
+    if args.json:
+        document: Dict[str, Any] = {
+            "key": outcome.key,
+            "status": outcome.status,
+            "record_status": outcome.record.status,
+            "attempts": outcome.record.attempts,
+            "hits": outcome.record.hits,
+        }
+        if outcome.response_text is not None:
+            document["response"] = json.loads(outcome.response_text)
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"{outcome.status}: {outcome.key}")
+        if outcome.status == "hit":
+            best = outcome.response.best or {}
+            cost = best.get("cost")
+            if cost is not None:
+                print(f"cached best: {cost:.2f} ms "
+                      f"(seed {best.get('seed')})")
+        elif outcome.status in ("queued", "resubmitted"):
+            print("run 'repro serve run-workers' to execute it")
+    _write_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_serve_status(args: argparse.Namespace) -> int:
+    service = _serve_service(args, create=False)
+    record = service.status(args.key)
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2))
+        return 0
+    _print_record(record)
+    return 0
+
+
+def cmd_serve_result(args: argparse.Namespace) -> int:
+    service = _serve_service(args, create=False)
+    service.result(args.key)  # raises ServiceError while unfinished
+    text = service.store.response_text(args.key)
+    if args.json:
+        # the exact persisted bytes — what cache hits serve
+        print(text)
+        return 0
+    response = ExplorationResponse.from_json(text)
+    best = response.best or {}
+    print(f"kind: {response.kind}   runs: {len(response.results)}")
+    if best.get("cost") is not None:
+        print(f"best: {best['cost']:.2f} ms (seed {best.get('seed')})")
+    for name, value in sorted(response.summary.items()):
+        if not isinstance(value, (list, dict)):
+            print(f"  {name}: {value}")
+    return 0
+
+
+def cmd_serve_run_workers(args: argparse.Namespace) -> int:
+    from repro.service import run_workers
+
+    telemetry = _telemetry_for(args)
+    kwargs: Dict[str, Any] = {}
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    executed = run_workers(
+        args.store,
+        workers=args.workers,
+        stale_after_s=args.stale_after,
+        jobs=args.jobs,
+        max_jobs=args.max_jobs,
+        **kwargs,
+    )
+    if args.json:
+        print(json.dumps(
+            {"executed": executed, "workers": args.workers}, indent=2
+        ))
+    else:
+        print(f"executed {executed} job(s) with {args.workers} worker(s)")
+    _write_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_serve_stats(args: argparse.Namespace) -> int:
+    service = _serve_service(args, create=False)
+    stats = service.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    records = stats["records"]
+    print(f"store: {stats['root']}")
+    print(f"records: {records['total']} "
+          f"(pending {records['pending']}, running {records['running']}, "
+          f"done {records['done']}, failed {records['failed']})")
+    print(f"queue: {stats['queue']['queued']} queued, "
+          f"{stats['queue']['claimed']} claimed")
+    print(f"executions: {stats['executions']}   "
+          f"cache hits: {stats['hits']}")
+    return 0
+
+
+def cmd_serve_gc(args: argparse.Namespace) -> int:
+    service = _serve_service(args, create=False)
+    removed = service.gc(
+        failed=not args.keep_failed,
+        done_older_than_s=args.done_older_than,
+    )
+    if args.json:
+        print(json.dumps(removed, indent=2))
+        return 0
+    print(f"removed: {removed['failed']} failed, {removed['done']} done, "
+          f"{removed['orphan_tickets']} orphan ticket(s), "
+          f"{removed['orphan_results']} orphan result(s)")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.api.resolve import resolve_application
 
@@ -672,6 +840,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the summary document instead of the table")
     p.set_defaults(func=cmd_telemetry_summarize)
+
+    p = sub.add_parser(
+        "serve",
+        help="exploration service: content-addressed result cache + "
+             "crash-safe worker pool",
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    def store_flag(p):
+        p.add_argument("--store", default=".repro-store", metavar="DIR",
+                       help="result-store directory "
+                            "(default: .repro-store)")
+
+    p = serve_sub.add_parser(
+        "submit",
+        help="cache-first submit: serve the cached envelope, attach to "
+             "an in-flight computation, or enqueue the job",
+    )
+    store_flag(p)
+    common(p)
+    spec_flags(p)
+    p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
+    p.add_argument("--clbs", type=int, default=2000,
+                   help="device size for the default architecture")
+    telemetry_flag(p)
+    p.set_defaults(func=cmd_serve_submit)
+
+    p = serve_sub.add_parser("status", help="show one record row")
+    store_flag(p)
+    p.add_argument("key", help="cache key printed by 'serve submit'")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_serve_status)
+
+    p = serve_sub.add_parser(
+        "result", help="print a completed job's result envelope"
+    )
+    store_flag(p)
+    p.add_argument("key", help="cache key printed by 'serve submit'")
+    p.add_argument("--json", action="store_true",
+                   help="print the exact persisted envelope bytes")
+    p.set_defaults(func=cmd_serve_result)
+
+    p = serve_sub.add_parser(
+        "run-workers",
+        help="drain the queue with N worker processes (requeues stale "
+             "claims first — crash recovery)",
+    )
+    store_flag(p)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (1 = inline, no pool)")
+    p.add_argument("--stale-after", type=float, default=600.0,
+                   metavar="SECONDS",
+                   help="age after which a running claim counts as "
+                        "abandoned and is requeued (default 600)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="runner processes per job (passed to explore)")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="stop each worker after this many jobs")
+    p.add_argument("--json", action="store_true")
+    telemetry_flag(p)
+    p.set_defaults(func=cmd_serve_run_workers)
+
+    p = serve_sub.add_parser("stats", help="summarize the store")
+    store_flag(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_serve_stats)
+
+    p = serve_sub.add_parser(
+        "gc", help="prune failed/aged records and orphaned files"
+    )
+    store_flag(p)
+    p.add_argument("--keep-failed", action="store_true",
+                   help="do not remove failed records")
+    p.add_argument("--done-older-than", type=float, default=None,
+                   metavar="SECONDS",
+                   help="also remove done records (and their envelopes) "
+                        "older than this")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_serve_gc)
 
     p = sub.add_parser("info", help="describe an application")
     p.add_argument("--application")

@@ -58,3 +58,8 @@ class ConfigurationError(ReproError):
 
 class TelemetryError(ReproError):
     """Malformed telemetry stream (bad JSONL, schema violation...)."""
+
+
+class ServiceError(ReproError):
+    """Exploration-service store/queue problem (missing record, corrupt
+    row, claim on a key that is not pending...)."""

@@ -1,0 +1,256 @@
+"""The service front door: cache-first submit, status, result, stats, gc.
+
+:class:`ExplorationService` is what clients (and the ``repro serve``
+CLI) talk to.  ``submit`` is **cache-first**: the request is content-
+addressed (request hash × resolved instance hash), and
+
+* a ``done`` record is a **cache hit** — the persisted envelope is
+  served back byte-identical to what the computing worker wrote, no
+  CPU spent;
+* a ``pending``/``running`` record is an **in-flight dedupe** — the
+  submit attaches to the existing computation instead of starting a
+  second one (the O_EXCL record creation in the store makes this hold
+  even when two submits race);
+* a ``failed`` record is **resubmitted** — back to ``pending`` and
+  re-ticketed, keeping its attempt history;
+* no record means a **cache miss** — row + queue ticket are created
+  for the worker pool.
+
+Telemetry: the service recorder counts ``cache_hit`` / ``cache_miss``
+/ ``dedupe_inflight`` / ``job_resubmitted`` and times every key
+computation + record lookup under the ``store_lookup`` phase; the
+queue adds ``job_requeued`` and the ``job_execute`` phase (see
+:mod:`repro.service.jobs`).  All of it surfaces through
+``repro telemetry summarize`` when the CLI is given ``--telemetry``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.api.facade import ExplorationResponse, environment_stamp
+from repro.api.specs import ExplorationRequest
+from repro.errors import ServiceError
+from repro.obs.telemetry import NULL
+from repro.service.jobs import JobQueue
+from repro.service.store import JobRecord, ResultStore
+
+__all__ = [
+    "STATS_FORMAT",
+    "STATS_SCHEMA_VERSION",
+    "ExplorationService",
+    "SubmitOutcome",
+]
+
+STATS_FORMAT = "exploration-service-stats"
+STATS_SCHEMA_VERSION = 1
+
+#: ``SubmitOutcome.status`` values.
+SUBMIT_STATUSES = ("hit", "queued", "inflight", "resubmitted")
+
+
+@dataclass
+class SubmitOutcome:
+    """What one ``submit`` did.
+
+    ``response``/``response_text`` are populated on a cache hit only —
+    ``response_text`` is the exact persisted bytes, so hit-served
+    envelopes are verifiably identical to the computed ones.
+    """
+
+    key: str
+    status: str
+    record: JobRecord
+    response: Optional[ExplorationResponse] = None
+    response_text: Optional[str] = None
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "hit"
+
+
+class ExplorationService:
+    """Cache-first serving layer over the store and the job queue."""
+
+    def __init__(self, root: str, telemetry=NULL, create: bool = True) -> None:
+        self.store = ResultStore(root, create=create)
+        self.queue = JobQueue(self.store, telemetry=telemetry)
+        self.telemetry = telemetry
+
+    # -- submit --------------------------------------------------------
+    def submit(self, request: ExplorationRequest) -> SubmitOutcome:
+        """Cache-first submit; never computes, only looks up or enqueues
+        (workers — or :meth:`run_local` — do the computing)."""
+        request.validate()
+        with self.telemetry.phase("store_lookup"):
+            key, request_hash, instance_hash = self.store.cache_key(request)
+            record, created = self.store.create_record(
+                key, request_hash, instance_hash, request.to_dict()
+            )
+        if created:
+            self.queue.enqueue(key)
+            self.telemetry.count("cache_miss")
+            if self.telemetry.enabled:
+                self.telemetry.event("submit", key=key, status="queued")
+            return SubmitOutcome(key=key, status="queued", record=record)
+        return self._attach(key, record)
+
+    def _attach(self, key: str, record: JobRecord) -> SubmitOutcome:
+        """Submit outcome for a key whose record already existed."""
+        if record.status == "done":
+            with self.telemetry.phase("store_lookup"):
+                text = self.store.response_text(key)
+            record.hits += 1
+            self.store.write_record(record)  # best-effort hit counter
+            self.telemetry.count("cache_hit")
+            if self.telemetry.enabled:
+                self.telemetry.event("submit", key=key, status="hit")
+            return SubmitOutcome(
+                key=key,
+                status="hit",
+                record=record,
+                response=ExplorationResponse.from_json(text),
+                response_text=text,
+            )
+        if record.status == "failed":
+            record.transition("pending")
+            self.store.write_record(record)
+            self.queue.enqueue(key)
+            self.telemetry.count("job_resubmitted")
+            if self.telemetry.enabled:
+                self.telemetry.event("submit", key=key, status="resubmitted")
+            return SubmitOutcome(key=key, status="resubmitted", record=record)
+        # pending or running: one computation is already on its way
+        self.telemetry.count("dedupe_inflight")
+        if self.telemetry.enabled:
+            self.telemetry.event("submit", key=key, status="inflight")
+        return SubmitOutcome(key=key, status="inflight", record=record)
+
+    def run_local(self, jobs: int = 1, max_jobs: Optional[int] = None) -> int:
+        """Drain the queue in-process (no pool); jobs executed.  The
+        single-machine convenience the bench case and tests use."""
+        return self.queue.drain(worker="local", jobs=jobs, max_jobs=max_jobs)
+
+    # -- lookups -------------------------------------------------------
+    def key_of(self, request: ExplorationRequest) -> str:
+        return self.store.cache_key(request)[0]
+
+    def status(self, key: str) -> JobRecord:
+        return self.store.load_record(key)
+
+    def result(self, key: str) -> ExplorationResponse:
+        """The persisted envelope; raises while the job is unfinished."""
+        record = self.store.load_record(key)
+        if record.status != "done":
+            raise ServiceError(
+                f"no result for {key!r} yet: record is {record.status!r}"
+                + (f" ({record.error})" if record.error else "")
+            )
+        return self.store.get_response(key)
+
+    def wait(
+        self, key: str, timeout_s: float = 60.0, poll_s: float = 0.05
+    ) -> JobRecord:
+        """Poll until the record settles (done/failed) or timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.store.load_record(key)
+            if record.status in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s:g}s waiting for {key!r} "
+                    f"(still {record.status!r})"
+                )
+            time.sleep(poll_s)
+
+    # -- bookkeeping ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """One JSON document summarizing the store (the ``repro serve
+        stats --json`` schema; pinned by the service tests)."""
+        by_status = {status: 0 for status in
+                     ("pending", "running", "done", "failed")}
+        executions = 0
+        hits = 0
+        failed_attempts = 0
+        for record in self.store.iter_records():
+            by_status[record.status] += 1
+            executions += record.attempts
+            hits += record.hits
+            if record.status == "failed":
+                failed_attempts += record.attempts
+        results_dir = os.path.join(self.store.root, self.store.RESULTS_DIR)
+        return {
+            "format": STATS_FORMAT,
+            "schema_version": STATS_SCHEMA_VERSION,
+            "root": self.store.root,
+            "records": dict(
+                by_status, total=sum(by_status.values())
+            ),
+            "queue": {
+                "queued": len(self.queue.pending_keys()),
+                "claimed": len(self.queue.claimed_keys()),
+            },
+            "executions": executions,
+            "hits": hits,
+            "failed_attempts": failed_attempts,
+            "results": sum(
+                1 for name in os.listdir(results_dir)
+                if name.endswith(".json")
+            ),
+            "environment": environment_stamp(),
+        }
+
+    def gc(
+        self,
+        failed: bool = True,
+        orphans: bool = True,
+        done_older_than_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Prune the store; returns removal counts per category.
+
+        * ``failed`` — drop failed records (their error is in the
+          history; resubmitting later simply recreates the row);
+        * ``orphans`` — tickets/envelopes whose record row is gone
+          (half-states from crashes or manual deletion);
+        * ``done_older_than_s`` — age out completed records + their
+          envelopes (the cache eviction knob).
+        """
+        now = time.time() if now is None else now
+        removed = {"failed": 0, "done": 0, "orphan_tickets": 0,
+                   "orphan_results": 0}
+        for record in self.store.iter_records():
+            if failed and record.status == "failed":
+                self.store.delete_record(record.key)
+                removed["failed"] += 1
+            elif (
+                done_older_than_s is not None
+                and record.status == "done"
+                and record.completed_ts is not None
+                and now - record.completed_ts > done_older_than_s
+            ):
+                self.store.delete_record(record.key)
+                removed["done"] += 1
+        if orphans:
+            keys = set(self.store.list_keys())
+            for subdir, suffix, bucket in (
+                (self.store.QUEUE_DIR, ".ticket", "orphan_tickets"),
+                (self.store.CLAIMS_DIR, ".ticket", "orphan_tickets"),
+                (self.store.RESULTS_DIR, ".json", "orphan_results"),
+            ):
+                directory = os.path.join(self.store.root, subdir)
+                for name in os.listdir(directory):
+                    if not name.endswith(suffix):
+                        continue
+                    if name[: -len(suffix)] in keys:
+                        continue
+                    try:
+                        os.unlink(os.path.join(directory, name))
+                    except FileNotFoundError:
+                        continue
+                    removed[bucket] += 1
+        return removed

@@ -1,0 +1,392 @@
+"""Content-addressed result store: persisted envelopes + record rows.
+
+The store is the persistence layer of the exploration service.  Its
+unit of identity is the **cache key**
+
+    sha256(request.content_hash() + ":" + instance_hash)
+
+where :meth:`~repro.api.specs.ExplorationRequest.content_hash` is the
+SHA-256 of the canonical request JSON and ``instance_hash`` is the
+SHA-256 of the *resolved* problem instance's canonical bundled document
+(the same digest :func:`repro.bench.corpus.scenario_hash` assigns to
+corpus scenarios).  The request hash alone would miss path-referencing
+specs whose file content changed underneath the path; composing it with
+the materialized instance binds the key to what would actually run.
+
+On-disk layout (JSON files + atomic rename, no external database)::
+
+    <root>/
+      records/<key>.json    one JobRecord row per key (status, probe
+                            history, timestamps, attempts, environment)
+      results/<key>.json    the ExplorationResponse envelope, written
+                            once when a job completes
+      queue/<key>.ticket    pending work (claiming renames it away)
+      claims/<key>.ticket   work owned by a worker (crash-safe: a stale
+                            claim is renamed back into queue/)
+
+Every write is append-safe: new content goes to a temp file in the same
+directory and is atomically renamed over the target, so readers never
+observe a torn record and two racing writers resolve to one winner.
+Record *creation* uses ``O_CREAT | O_EXCL``, which is the store's one
+point of mutual exclusion — exactly one of N racing submitters creates
+the row, everyone else observes it (the dedupe guarantee of the
+service).  The record/probe-history idiom follows the persistent mirror
+records of Launchpad's ``distributionmirror.py`` (see SNIPPETS.md #3):
+each row keeps its full state-transition history next to the current
+freshness state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.api.facade import ExplorationResponse, environment_stamp
+from repro.api.specs import ExplorationRequest
+from repro.errors import ConfigurationError, ServiceError
+
+__all__ = [
+    "RECORD_FORMAT",
+    "RECORD_SCHEMA_VERSION",
+    "RECORD_STATES",
+    "JobRecord",
+    "ResultStore",
+    "compose_cache_key",
+    "instance_hash_for",
+]
+
+RECORD_FORMAT = "exploration-record"
+RECORD_SCHEMA_VERSION = 1
+
+#: Record lifecycle: ``pending`` (queued, unclaimed) → ``running``
+#: (claimed by a worker) → ``done`` (envelope persisted) or ``failed``
+#: (error captured).  A stale ``running`` record is requeued back to
+#: ``pending`` by :meth:`repro.service.jobs.JobQueue.requeue_stale`.
+RECORD_STATES = ("pending", "running", "done", "failed")
+
+
+def instance_hash_for(request: ExplorationRequest) -> str:
+    """SHA-256 of the request's *resolved* problem instance.
+
+    Resolves the application and architecture through the one pipeline
+    (:mod:`repro.api.resolve`) and hashes the canonical bundled instance
+    document via :func:`repro.bench.corpus.scenario_hash`, so service
+    cache keys and bench corpus identities share one digest vocabulary.
+    For sweep requests (whose per-cell platforms are derived from
+    ``sizes``) this binds the base problem; the grid itself is covered
+    by the request hash.
+    """
+    from repro.api.resolve import resolve_application, resolve_architecture
+    from repro.bench.corpus import scenario_hash
+    from repro.io import ProblemInstance
+
+    problem = resolve_application(request.application)
+    architecture = resolve_architecture(
+        request.architecture, bundled=problem.architecture
+    )
+    deadline = request.deadline_ms
+    if deadline is None:
+        deadline = problem.deadline_ms
+    return scenario_hash(
+        ProblemInstance(
+            application=problem.application,
+            architecture=architecture,
+            deadline_ms=deadline,
+        )
+    )
+
+
+def compose_cache_key(request_hash: str, instance_hash: str) -> str:
+    """The store key: SHA-256 over both component digests."""
+    return hashlib.sha256(
+        f"{request_hash}:{instance_hash}".encode("ascii")
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the record row
+# ----------------------------------------------------------------------
+@dataclass
+class JobRecord:
+    """One persisted row per cache key: state, provenance, history.
+
+    ``history`` is the append-only probe log — every transition appends
+    ``{"ts", "status", "worker"?, "error"?}``, so a record tells the
+    whole story of its job (submitted, claimed, requeued after a crash,
+    completed) without consulting any other file.
+    """
+
+    key: str
+    request_hash: str
+    instance_hash: str
+    request: Dict[str, Any]
+    status: str = "pending"
+    created_ts: float = 0.0
+    claimed_ts: Optional[float] = None
+    completed_ts: Optional[float] = None
+    attempts: int = 0
+    hits: int = 0
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    environment: Dict[str, Any] = field(default_factory=environment_stamp)
+    #: Counters/timers snapshot of the job's own telemetry recorder,
+    #: absorbed at completion (``None`` until then).
+    telemetry: Optional[Dict[str, Any]] = None
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    def transition(
+        self,
+        status: str,
+        worker: Optional[str] = None,
+        error: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Move to ``status`` and append the probe-history entry."""
+        if status not in RECORD_STATES:
+            raise ConfigurationError(
+                f"unknown record status {status!r}; "
+                f"known: {list(RECORD_STATES)}"
+            )
+        now = time.time() if now is None else now
+        self.status = status
+        if status == "running":
+            self.claimed_ts = now
+            self.attempts += 1
+            self.worker = worker
+            self.error = None
+        elif status in ("done", "failed"):
+            self.completed_ts = now
+            self.error = error
+        else:  # pending (initial creation or requeue)
+            self.worker = None
+            self.error = error
+        entry: Dict[str, Any] = {"ts": now, "status": status}
+        if worker is not None:
+            entry["worker"] = worker
+        if error is not None:
+            entry["error"] = error
+        self.history.append(entry)
+
+    # -- (de)serialization ---------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": RECORD_FORMAT,
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "key": self.key,
+            "request_hash": self.request_hash,
+            "instance_hash": self.instance_hash,
+            "status": self.status,
+            "created_ts": self.created_ts,
+            "claimed_ts": self.claimed_ts,
+            "completed_ts": self.completed_ts,
+            "attempts": self.attempts,
+            "hits": self.hits,
+            "worker": self.worker,
+            "error": self.error,
+            "environment": dict(self.environment),
+            "telemetry": self.telemetry,
+            "history": list(self.history),
+            "request": self.request,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        if data.get("format") != RECORD_FORMAT:
+            raise ServiceError(
+                f"expected a {RECORD_FORMAT!r} document, "
+                f"got {data.get('format')!r}"
+            )
+        version = data.get("schema_version")
+        if not isinstance(version, int) or version > RECORD_SCHEMA_VERSION:
+            raise ServiceError(
+                f"unsupported record schema_version {version!r} "
+                f"(this library understands <= {RECORD_SCHEMA_VERSION})"
+            )
+        status = data.get("status")
+        if status not in RECORD_STATES:
+            raise ServiceError(
+                f"record {data.get('key')!r} has unknown status {status!r}"
+            )
+        return cls(
+            key=data["key"],
+            request_hash=data["request_hash"],
+            instance_hash=data["instance_hash"],
+            request=dict(data["request"]),
+            status=status,
+            created_ts=data.get("created_ts", 0.0),
+            claimed_ts=data.get("claimed_ts"),
+            completed_ts=data.get("completed_ts"),
+            attempts=data.get("attempts", 0),
+            hits=data.get("hits", 0),
+            worker=data.get("worker"),
+            error=data.get("error"),
+            environment=dict(data.get("environment", {})),
+            telemetry=data.get("telemetry"),
+            history=list(data.get("history", [])),
+        )
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Filesystem-backed content-addressed store (records + envelopes).
+
+    All methods are safe to call from any number of processes sharing
+    ``root``: reads parse whole files (atomic-rename writes mean no torn
+    state), record creation is ``O_EXCL``-exclusive, and queue/claim
+    ticket moves are single ``rename`` calls with exactly one winner.
+    """
+
+    RECORDS_DIR = "records"
+    RESULTS_DIR = "results"
+    QUEUE_DIR = "queue"
+    CLAIMS_DIR = "claims"
+
+    def __init__(self, root: str, create: bool = True) -> None:
+        self.root = os.path.abspath(root)
+        if create:
+            for name in (
+                self.RECORDS_DIR, self.RESULTS_DIR,
+                self.QUEUE_DIR, self.CLAIMS_DIR,
+            ):
+                os.makedirs(os.path.join(self.root, name), exist_ok=True)
+        elif not os.path.isdir(os.path.join(self.root, self.RECORDS_DIR)):
+            raise ServiceError(
+                f"no exploration store at {self.root!r} "
+                f"(missing {self.RECORDS_DIR}/)"
+            )
+
+    # -- paths ---------------------------------------------------------
+    def record_path(self, key: str) -> str:
+        return os.path.join(self.root, self.RECORDS_DIR, f"{key}.json")
+
+    def result_path(self, key: str) -> str:
+        return os.path.join(self.root, self.RESULTS_DIR, f"{key}.json")
+
+    def queue_ticket(self, key: str) -> str:
+        return os.path.join(self.root, self.QUEUE_DIR, f"{key}.ticket")
+
+    def claim_ticket(self, key: str) -> str:
+        return os.path.join(self.root, self.CLAIMS_DIR, f"{key}.ticket")
+
+    # -- keys ----------------------------------------------------------
+    def cache_key(self, request: ExplorationRequest) -> Tuple[str, str, str]:
+        """``(key, request_hash, instance_hash)`` for a request."""
+        request_hash = request.content_hash()
+        instance_hash = instance_hash_for(request)
+        return (
+            compose_cache_key(request_hash, instance_hash),
+            request_hash,
+            instance_hash,
+        )
+
+    # -- atomic write --------------------------------------------------
+    def _atomic_write(self, path: str, text: str) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # -- records -------------------------------------------------------
+    def create_record(
+        self, key: str, request_hash: str, instance_hash: str,
+        request_document: Dict[str, Any],
+    ) -> Tuple[JobRecord, bool]:
+        """Create the row for ``key`` if absent; ``(record, created)``.
+
+        ``O_CREAT | O_EXCL`` on the record file makes exactly one of N
+        racing creators win; losers re-read the winner's row.  The row
+        is born ``pending`` with its first probe-history entry.
+        """
+        record = JobRecord(
+            key=key,
+            request_hash=request_hash,
+            instance_hash=instance_hash,
+            request=request_document,
+            created_ts=time.time(),
+        )
+        record.transition("pending", now=record.created_ts)
+        path = self.record_path(key)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return self.load_record(key), False
+        try:
+            text = json.dumps(record.to_dict(), indent=2)
+            os.write(fd, text.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return record, True
+
+    def load_record(self, key: str) -> JobRecord:
+        path = self.record_path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise ServiceError(f"no record for key {key!r}") from None
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"record {path!r} is not valid JSON: {exc}"
+            ) from None
+        return JobRecord.from_dict(data)
+
+    def has_record(self, key: str) -> bool:
+        return os.path.exists(self.record_path(key))
+
+    def write_record(self, record: JobRecord) -> None:
+        self._atomic_write(
+            self.record_path(record.key),
+            json.dumps(record.to_dict(), indent=2),
+        )
+
+    def list_keys(self) -> List[str]:
+        directory = os.path.join(self.root, self.RECORDS_DIR)
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+
+    def iter_records(self) -> Iterator[JobRecord]:
+        for key in self.list_keys():
+            yield self.load_record(key)
+
+    def delete_record(self, key: str) -> None:
+        for path in (
+            self.record_path(key), self.result_path(key),
+            self.queue_ticket(key), self.claim_ticket(key),
+        ):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
+    # -- envelopes -----------------------------------------------------
+    def put_response(self, key: str, response: ExplorationResponse) -> str:
+        """Persist the envelope; returns the exact text written (the
+        bytes a later cache hit serves back)."""
+        text = response.to_json()
+        self._atomic_write(self.result_path(key), text)
+        return text
+
+    def response_text(self, key: str) -> str:
+        try:
+            with open(self.result_path(key), encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise ServiceError(f"no result envelope for key {key!r}") from None
+
+    def get_response(self, key: str) -> ExplorationResponse:
+        return ExplorationResponse.from_json(self.response_text(key))
+
+    def has_response(self, key: str) -> bool:
+        return os.path.exists(self.result_path(key))

@@ -1,0 +1,121 @@
+"""Golden fixtures for ``ExplorationRequest.content_hash``.
+
+The content hash is the request half of the service's cache key, so its
+stability is a compatibility contract: if any of these pinned digests
+changes, every result store in the field silently misses its cache.  A
+failure here must be a deliberate, reviewed event (bump the goldens in
+the same commit that changes the canonical form).
+
+The digests below were computed under two different ``PYTHONHASHSEED``
+values and are asserted equal here under whatever seed the test run
+uses — the canonical form is key-sorted JSON, so dict iteration order
+never leaks in.
+"""
+
+import hashlib
+import json
+
+from repro.api.specs import (
+    ArchitectureSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
+    StrategySpec,
+)
+
+
+def _fixtures():
+    return {
+        "default": ExplorationRequest(),
+        "paper-single": ExplorationRequest(
+            kind="single",
+            budget=BudgetSpec(iterations=8000, warmup_iterations=1200),
+            seed=1,
+        ),
+        "batch-seeds": ExplorationRequest(
+            kind="batch", seeds=(1, 2, 3),
+            budget=BudgetSpec(iterations=500),
+        ),
+        "sweep-grid": ExplorationRequest(
+            kind="sweep", sizes=(200, 400), runs=2,
+            budget=BudgetSpec(iterations=500, warmup_iterations=100),
+        ),
+        "portfolio": ExplorationRequest(kind="portfolio", seed=11),
+        "array-engine": ExplorationRequest(
+            engine=EngineSpec("array", {"dispatch": "kernel"}),
+            architecture=ArchitectureSpec(kind="builtin", n_clbs=800),
+            strategy=StrategySpec("sa", {"schedule_name": "geometric"}),
+            seed=5,
+        ),
+    }
+
+
+#: The pinned digests (schema_version 1 canonical form).
+GOLDEN_HASHES = {
+    "default": "f2375758189daa6baaf0f31de6f15fae308b19292cf6fd2ef615f8b5f06a1ee5",
+    "paper-single": "2b5aa2a6cdc7d63966a935a2009e11997344972f33457164252a61a74ceeee15",
+    "batch-seeds": "1d78029308f611b4169ac23da99d61f5523044e76e4f9a2f0cca9393bcfa217d",
+    "sweep-grid": "191a0cf3055a679fc7b6369c2eac975d6a768b5c07913c9edd1cfb68914f4daa",
+    "portfolio": "83b2b088564271018a1c91791dcdea5d9744c9dd05436bca58f97bba78cb4fb5",
+    "array-engine": "8acc4ee85557147581900d72761cd4e7c2e3f56017e59bf775b368dab1fda9cb",
+}
+
+
+class TestGoldenHashes:
+    def test_every_fixture_matches_its_pinned_digest(self):
+        computed = {
+            name: request.content_hash()
+            for name, request in _fixtures().items()
+        }
+        assert computed == GOLDEN_HASHES
+
+    def test_hash_is_sha256_of_canonical_json(self):
+        request = _fixtures()["paper-single"]
+        expected = hashlib.sha256(
+            request.canonical_json().encode("utf-8")
+        ).hexdigest()
+        assert request.content_hash() == expected
+
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        text = ExplorationRequest().canonical_json()
+        data = json.loads(text)
+        assert text == json.dumps(
+            data, sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestHashProperties:
+    def test_key_order_insensitive(self):
+        request = _fixtures()["array-engine"]
+        shuffled = dict(reversed(list(request.to_dict().items())))
+        reparsed = ExplorationRequest.from_dict(shuffled)
+        assert reparsed.content_hash() == request.content_hash()
+
+    def test_json_round_trip_preserves_the_hash(self):
+        for name, request in _fixtures().items():
+            reparsed = ExplorationRequest.from_json(request.to_json())
+            assert reparsed.content_hash() == request.content_hash(), name
+
+    def test_every_field_change_changes_the_hash(self):
+        base = ExplorationRequest()
+        variants = [
+            ExplorationRequest(seed=8),
+            ExplorationRequest(budget=BudgetSpec(iterations=100)),
+            ExplorationRequest(engine=EngineSpec("array")),
+            ExplorationRequest(
+                strategy=StrategySpec("sa", {"schedule_name": "geometric"})
+            ),
+            ExplorationRequest(
+                architecture=ArchitectureSpec(kind="builtin", n_clbs=500)
+            ),
+            ExplorationRequest(deadline_ms=50.0),
+        ]
+        hashes = {req.content_hash() for req in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_identical_requests_hash_identically(self):
+        one = ExplorationRequest(seed=3, budget=BudgetSpec(iterations=40))
+        two = ExplorationRequest(seed=3, budget=BudgetSpec(iterations=40))
+        assert one is not two
+        assert one.content_hash() == two.content_hash()

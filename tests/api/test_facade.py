@@ -247,6 +247,46 @@ class TestResponseEnvelope:
         assert clone.results == response.results
         assert clone.summary == response.summary
 
+    def test_disk_round_trip_is_byte_exact(self, tmp_path):
+        # The service's cache serves persisted envelopes verbatim, so a
+        # save/load/save cycle must reproduce the file byte for byte —
+        # per-seed stats, best-so-far history and all.
+        from repro.api.facade import load_response
+
+        response = explore(small_request(
+            kind="batch", seeds=(1, 2),
+            strategy=StrategySpec("sa", {"keep_trace": True}),
+        ))
+        assert response.results[0]["history"]  # history survives
+        assert response.summary["runs"] == 2  # per-seed stats survive
+        path = str(tmp_path / "response.json")
+        written = response.save(path)
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == written
+        clone = load_response(path)
+        assert clone.to_json() == written
+        # and the cycle is a fixed point, not just a one-shot match
+        path2 = str(tmp_path / "again.json")
+        assert clone.save(path2) == written
+
+    def test_disk_round_trip_with_telemetry_block(self, tmp_path):
+        from repro.api.facade import load_response
+        from repro.obs.telemetry import Telemetry
+
+        response = explore(small_request(), telemetry=Telemetry(label="t"))
+        assert response.telemetry is not None
+        path = str(tmp_path / "response.json")
+        written = response.save(path)
+        clone = load_response(path)
+        assert clone.telemetry == response.telemetry
+        assert clone.to_json() == written
+
+    def test_load_response_missing_file(self, tmp_path):
+        from repro.api.facade import load_response
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_response(str(tmp_path / "absent.json"))
+
     def test_best_solution_document_reloads(self):
         from repro.arch.architecture import epicure_architecture
         from repro.io import solution_from_dict

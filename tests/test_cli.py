@@ -363,6 +363,128 @@ class TestSpecWorkflow:
         assert document["best"]["evaluation"]["feasible"]
 
 
+class TestServe:
+    SUBMIT = [
+        "serve", "submit", "--iterations", "60", "--warmup", "10",
+        "--seed", "1",
+    ]
+
+    def _store(self, tmp_path):
+        return str(tmp_path / "store")
+
+    def test_submit_drain_hit_round_trip(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(self.SUBMIT + ["--store", store]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("queued: ")
+        assert "run 'repro serve run-workers'" in out
+        key = out.splitlines()[0].split(": ", 1)[1]
+
+        assert main([
+            "serve", "run-workers", "--store", store, "--workers", "1",
+        ]) == 0
+        assert "executed 1 job(s)" in capsys.readouterr().out
+
+        assert main(self.SUBMIT + ["--store", store]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("hit: ")
+        assert "cached best:" in out
+
+        assert main(["serve", "status", "--store", store, key]) == 0
+        out = capsys.readouterr().out
+        assert "status:   done" in out
+        assert "hits: 1" in out
+
+        assert main(["serve", "result", "--store", store, key]) == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_submit_json_and_exact_result_bytes(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(self.SUBMIT + ["--store", store, "--json"]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        assert submitted["status"] == "queued"
+        assert submitted["attempts"] == 0
+        key = submitted["key"]
+
+        assert main([
+            "serve", "run-workers", "--store", store, "--workers", "1",
+            "--json",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["executed"] == 1
+
+        # a cache hit carries the full envelope in the JSON document
+        assert main(self.SUBMIT + ["--store", store, "--json"]) == 0
+        hit = json.loads(capsys.readouterr().out)
+        assert hit["status"] == "hit"
+        assert hit["response"]["format"] == "exploration-response"
+
+        # `serve result --json` prints the exact persisted bytes
+        from repro.service import ResultStore
+
+        assert main([
+            "serve", "result", "--store", store, key, "--json",
+        ]) == 0
+        printed = capsys.readouterr().out
+        persisted = ResultStore(store, create=False).response_text(key)
+        assert printed == persisted + "\n"
+
+    def test_stats_and_gc(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(self.SUBMIT + ["--store", store]) == 0
+        assert main(self.SUBMIT + ["--store", store]) == 0  # inflight
+        assert main([
+            "serve", "run-workers", "--store", store, "--workers", "1",
+        ]) == 0
+        assert main(self.SUBMIT + ["--store", store]) == 0  # hit
+        capsys.readouterr()
+
+        assert main(["serve", "stats", "--store", store, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["format"] == "exploration-service-stats"
+        assert stats["executions"] == 1
+        assert stats["hits"] == 1
+        assert stats["records"]["done"] == 1
+
+        assert main(["serve", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "executions: 1" in out and "cache hits: 1" in out
+
+        assert main([
+            "serve", "gc", "--store", store, "--done-older-than", "0",
+        ]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_result_before_completion_exits_2(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(self.SUBMIT + ["--store", store, "--json"]) == 0
+        key = json.loads(capsys.readouterr().out)["key"]
+        assert main(["serve", "result", "--store", store, key]) == 2
+        assert "no result" in capsys.readouterr().err
+
+    def test_missing_store_exits_2(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent")
+        assert main([
+            "serve", "stats", "--store", absent, "--json",
+        ]) == 2
+        assert "no exploration store" in capsys.readouterr().err
+
+    def test_submit_telemetry_stream(self, tmp_path, capsys):
+        from repro.obs.telemetry import load_events, summarize_events
+
+        store = self._store(tmp_path)
+        stream = str(tmp_path / "serve.jsonl")
+        assert main(self.SUBMIT + [
+            "--store", store, "--telemetry", stream,
+        ]) == 0
+        assert "telemetry written" in capsys.readouterr().out
+        summary = summarize_events(load_events(stream))
+        assert summary["counters"]["cache_miss"] == 1
+        assert "store_lookup_s" in summary["timers"]
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", stream]) == 0
+        assert "cache_miss" in capsys.readouterr().out
+
+
 class TestValidationExitCodes:
     def test_missing_spec_file_exits_2(self, capsys):
         assert main(["explore", "--spec", "/nonexistent.json"]) == 2

@@ -15,6 +15,7 @@ REPRO_SURFACE = sorted([
     "ReproError", "GraphError", "CycleError", "ModelError",
     "ArchitectureError", "CapacityError", "MappingError", "MoveError",
     "InfeasibleMoveError", "ConfigurationError", "TelemetryError",
+    "ServiceError",
     # graph
     "Dag", "PathCountClosure", "MaxPlusClosure",
     # model
@@ -41,6 +42,8 @@ REPRO_SURFACE = sorted([
     "run_search_jobs", "run_portfolio", "derive_seeds",
     # observability
     "Telemetry",
+    # exploration service
+    "ExplorationService", "ResultStore", "run_workers",
     # declarative public API
     "api", "ApplicationSpec", "ArchitectureSpec", "BudgetSpec",
     "EngineSpec", "ExplorationRequest", "ExplorationResponse",
@@ -60,6 +63,7 @@ API_SURFACE = sorted([
     "resolve_application", "resolve_architecture", "resolve_request",
     "resolve_strategy",
     "environment_stamp", "evaluation_to_dict", "explore",
+    "load_response",
 ])
 
 
