@@ -97,6 +97,12 @@ class ExplorationResponse:
     #: only when the caller supplied a recorder; omitted from the JSON
     #: envelope otherwise so pre-telemetry documents stay byte-identical.
     telemetry: Optional[Dict[str, Any]] = None
+    #: Anytime incumbent snapshots, one entry per run that recorded any
+    #: (``{"index": run index, "snapshots": [...]}``); present only when
+    #: the request's budget carried an ``anytime`` block, omitted from
+    #: the JSON envelope otherwise so pre-anytime documents stay
+    #: byte-identical.
+    partials: Optional[List[Dict[str, Any]]] = None
     #: Live objects, in-process only (excluded from the JSON envelope).
     outcomes: List[JobOutcome] = field(
         default_factory=list, repr=False, compare=False
@@ -119,6 +125,8 @@ class ExplorationResponse:
         }
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry
+        if self.partials is not None:
+            data["partials"] = self.partials
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -147,6 +155,7 @@ class ExplorationResponse:
             jobs=data.get("jobs", 1),
             schema_version=version,
             telemetry=data.get("telemetry"),
+            partials=data.get("partials"),
         )
 
     @classmethod
@@ -238,6 +247,22 @@ def _best_record(
     }
 
 
+def _partials_of(outcomes: List[JobOutcome]) -> Optional[List[Dict[str, Any]]]:
+    """The response-level anytime section: one entry per run that
+    recorded snapshots (``None`` when no run did, keeping envelopes
+    without an anytime budget byte-identical to pre-anytime ones)."""
+    partials = [
+        {
+            "index": outcome.index,
+            "snapshots": list(block["snapshots"]),
+        }
+        for outcome in outcomes
+        for block in (outcome.result.extras.get("anytime"),)
+        if block is not None and block["snapshots"]
+    ]
+    return partials or None
+
+
 def _telemetry_block(telemetry) -> Dict[str, Any]:
     """The summary block attached to a response (snapshot + stream size)."""
     block = telemetry.snapshot()
@@ -308,6 +333,8 @@ def explore(
             seed=seed,
             tag=position,
             budget=resolved.budget,
+            initial=resolved.initial,
+            anytime=resolved.anytime,
         )
         for position, seed in enumerate(resolved.seeds)
     ]
@@ -316,6 +343,7 @@ def explore(
     )
     if telemetry is not None:
         response.telemetry = _telemetry_block(telemetry)
+    response.partials = _partials_of(response.outcomes)
     if resolved.kind == "batch":
         from repro.analysis.stats import summarize
 
@@ -428,6 +456,7 @@ def _explore_sweep(
             seed=sweep_seed(request.seed, n_clbs, r),
             tag=[n_clbs, r],
             budget=resolved.budget,
+            anytime=resolved.anytime,
         )
         for n_clbs in resolved.sizes
         for r in range(request.runs)
@@ -437,6 +466,7 @@ def _explore_sweep(
     )
     if telemetry is not None:
         response.telemetry = _telemetry_block(telemetry)
+    response.partials = _partials_of(response.outcomes)
     by_cell = {
         (outcome.tag[0], outcome.tag[1]): evaluation
         for outcome, evaluation in zip(response.outcomes, evaluations)

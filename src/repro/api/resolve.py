@@ -303,6 +303,16 @@ class ResolvedRequest:
     iterations: Optional[int] = None
     warmup_iterations: Optional[int] = None
     budget: Optional[SearchBudget] = None
+    #: Warm-start seed decoded (and repaired if needed) against the
+    #: resolved application/architecture — the same live objects the
+    #: façade builds its :class:`InstanceSpec` from, so the pickled job
+    #: stays one consistent object graph.
+    initial: Any = None
+    #: Plain-dict anytime snapshot config, threaded to ``SearchJob``.
+    anytime: Optional[Dict[str, Any]] = None
+    #: Number of donor assignments :func:`repro.mapping.seed.
+    #: seed_solution` had to repair while decoding ``initial``.
+    initial_repairs: int = 0
 
 
 def sweep_seed(seed0: int, n_clbs: int, run: int) -> int:
@@ -342,6 +352,16 @@ def resolve_request(request: ExplorationRequest) -> ResolvedRequest:
         deadline = problem.deadline_ms
     if deadline is None and request.kind == "sweep":
         deadline = 40.0  # the paper's constraint, the historical default
+    initial = None
+    initial_repairs = 0
+    if request.strategy.initial_solution is not None:
+        from repro.mapping.seed import seed_solution
+
+        initial, initial_repairs = seed_solution(
+            request.strategy.initial_solution,
+            problem.application,
+            architecture,
+        )
     return ResolvedRequest(
         kind=request.kind,
         application=problem.application,
@@ -355,4 +375,11 @@ def resolve_request(request: ExplorationRequest) -> ResolvedRequest:
         iterations=request.budget.iterations,
         warmup_iterations=request.budget.warmup_iterations,
         budget=resolve_budget(request.budget),
+        initial=initial,
+        anytime=(
+            dict(request.budget.anytime)
+            if request.budget.anytime is not None
+            else None
+        ),
+        initial_repairs=initial_repairs,
     )

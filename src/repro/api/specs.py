@@ -85,10 +85,18 @@ def _json_clean(value: Any, what: str) -> Any:
 class _SpecBase:
     """``to_dict``/``from_dict`` via dataclass introspection."""
 
+    #: Field names omitted from ``to_dict`` while ``None``.  Fields added
+    #: after a format shipped go here: the canonical document (and hence
+    #: every golden fixture and pinned content hash) stays byte-identical
+    #: until a request actually uses the new field.
+    _OMIT_WHEN_NONE: frozenset = frozenset()
+
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
+            if value is None and f.name in self._OMIT_WHEN_NONE:
+                continue
             if isinstance(value, _SpecBase):
                 value = value.to_dict()
             elif isinstance(value, tuple):
@@ -239,6 +247,16 @@ class StrategySpec(_SpecBase):
     #: entry is ``{"kind": "processor" | "reconfigurable" | "asic",
     #: ...resource params...}`` (the :mod:`repro.io` vocabulary).
     catalog: Tuple[Dict[str, Any], ...] = ()
+    #: Warm-start seed: a solution document
+    #: (:func:`repro.io.dump_solution` vocabulary) decoded — and, if the
+    #: instance drifted from the document's origin, repaired — into the
+    #: strategy's starting solution by :mod:`repro.api.resolve`.  The
+    #: exploration service injects a cached near-instance incumbent
+    #: here; omitted (None) the strategy draws its seed-random initial
+    #: exactly as before this field existed.
+    initial_solution: Optional[Dict[str, Any]] = None
+
+    _OMIT_WHEN_NONE = frozenset({"initial_solution"})
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "catalog", tuple(self.catalog))
@@ -294,6 +312,20 @@ class StrategySpec(_SpecBase):
                 "catalog specs apply to the 'sa' strategy only "
                 "(architecture exploration runs through the annealer)"
             )
+        if self.initial_solution is not None:
+            seed_doc = _require_mapping(
+                self.initial_solution, "StrategySpec.initial_solution"
+            )
+            if seed_doc.get("format") != "solution":
+                raise ConfigurationError(
+                    "initial_solution must be a solution document "
+                    "(format == 'solution'; see repro.io.dump_solution)"
+                )
+            if self.catalog:
+                raise ConfigurationError(
+                    "initial_solution cannot be combined with a catalog "
+                    "(architecture exploration re-derives its mapping)"
+                )
 
 
 @dataclass(frozen=True)
@@ -310,6 +342,14 @@ class BudgetSpec(_SpecBase):
     warmup_iterations: Optional[int] = None
     time_limit_s: Optional[float] = None
     stall_limit: Optional[int] = None
+    #: Anytime reporting: ``{"interval_iterations": n}`` and/or
+    #: ``{"interval_s": seconds}``.  The search periodically snapshots
+    #: its incumbent (iteration, best cost, current cost, elapsed wall
+    #: clock) into ``SearchResult.extras["anytime"]``; the facade
+    #: surfaces the snapshots as the response's ``partials`` section.
+    anytime: Optional[Dict[str, Any]] = None
+
+    _OMIT_WHEN_NONE = frozenset({"anytime"})
 
     def validate(self) -> None:
         if self.iterations is not None and self.iterations < 1:
@@ -320,6 +360,34 @@ class BudgetSpec(_SpecBase):
             raise ConfigurationError("budget time_limit_s must be > 0")
         if self.stall_limit is not None and self.stall_limit < 1:
             raise ConfigurationError("budget stall_limit must be >= 1")
+        if self.anytime is not None:
+            anytime = _require_mapping(self.anytime, "BudgetSpec.anytime")
+            _reject_unknown(
+                anytime,
+                {"interval_iterations", "interval_s"},
+                "BudgetSpec.anytime",
+            )
+            if not anytime:
+                raise ConfigurationError(
+                    "budget anytime needs interval_iterations and/or "
+                    "interval_s"
+                )
+            interval = anytime.get("interval_iterations")
+            if interval is not None and (
+                not isinstance(interval, int)
+                or isinstance(interval, bool)
+                or interval < 1
+            ):
+                raise ConfigurationError(
+                    "anytime interval_iterations must be an int >= 1"
+                )
+            interval_s = anytime.get("interval_s")
+            if interval_s is not None and (
+                not isinstance(interval_s, (int, float))
+                or isinstance(interval_s, bool)
+                or interval_s <= 0
+            ):
+                raise ConfigurationError("anytime interval_s must be > 0")
 
 
 @dataclass(frozen=True)
@@ -502,6 +570,19 @@ class ExplorationRequest(_SpecBase):
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ConfigurationError("deadline_ms must be > 0")
+        if (
+            self.strategy.initial_solution is not None
+            and self.kind not in ("single", "batch")
+        ):
+            raise ConfigurationError(
+                f"initial_solution applies to single and batch requests "
+                f"only, not {self.kind!r} (the instance varies per job)"
+            )
+        if self.budget.anytime is not None and self.kind == "portfolio":
+            raise ConfigurationError(
+                "anytime snapshots are not supported for portfolio "
+                "requests (the racers run through their own driver)"
+            )
 
     # ------------------------------------------------------------------
     @classmethod

@@ -406,6 +406,115 @@ def _service_cache_hit(context: BenchContext, state: Any) -> Dict[str, Any]:
         shutil.rmtree(root, ignore_errors=True)
 
 
+@bench_case(
+    name="service/warm_start@motion",
+    suites=("quick", "full"),
+    scenarios=("motion/2000",),
+    setup=lambda context: get_scenario("motion/2000").document(),
+)
+def _service_warm_start(context: BenchContext, state: Any) -> Dict[str, Any]:
+    """Warm-started convergence vs a cold run on a perturbed instance.
+
+    The anytime/warm-start headline: solve the motion instance once
+    (the donor), perturb one task's software duration by 5% (a
+    param-only delta — same structure hash, different cache key), and
+    submit the perturbed instance through the service.  The near-index
+    finds the donor, its best solution is re-seeded onto the perturbed
+    instance, and the annealer starts from it with warmup folded to
+    zero.  The headline metric is ``evals_ratio``: the evaluations the
+    warm run needs to reach the *cold* run's final best cost, as a
+    fraction of the cold run's evaluations (the ISSUE target is
+    <= 0.5x).  Each timed run builds a fresh temp store so the donor
+    lookup is exercised end to end."""
+    import copy
+    import shutil
+    import tempfile
+
+    from repro.service import ExplorationService
+
+    def request_for(
+        document: Dict[str, Any], keep_trace: bool = False
+    ) -> ExplorationRequest:
+        # keep_trace doubles as keep_history: the measured runs need the
+        # per-iteration best-so-far curve to locate the crossing point.
+        return ExplorationRequest(
+            kind="single",
+            application=ApplicationSpec(kind="bundled", document=document),
+            strategy=ApiStrategySpec("sa", {"keep_trace": keep_trace}),
+            budget=BudgetSpec(
+                iterations=context.iterations,
+                warmup_iterations=_scaled_warmup(context.iterations),
+            ),
+            seed=context.seed,
+        )
+
+    perturbed = copy.deepcopy(state)
+    task = perturbed["application"]["tasks"][0]
+    task["sw_time_ms"] = task["sw_time_ms"] * 1.05
+
+    # cold baseline: the perturbed instance from a random initial
+    cold = explore(request_for(perturbed))
+    cold_result = cold.results[0]
+    cold_best = cold_result["best_cost"]
+
+    root = tempfile.mkdtemp(prefix="repro-bench-warm-")
+    try:
+        service = ExplorationService(root)
+        service.submit(request_for(state))  # the donor
+        service.run_local()
+        outcome = service.submit(request_for(perturbed, keep_trace=True))
+        service.run_local()
+        record = service.status(outcome.key)
+        warm = service.result(outcome.key)
+        warm_result = warm.results[0]
+        # history[i] is the best-so-far cost after iteration i+1, so the
+        # first index at or below the cold final cost is the evaluation
+        # count the warm run needed to match the cold run end-to-end.
+        reached = next(
+            (
+                i + 1
+                for i, cost in enumerate(warm_result["history"])
+                if cost <= cold_best
+            ),
+            None,
+        )
+        evals_to_cold = (
+            reached if reached is not None else warm_result["evaluations"]
+        )
+        ratio = evals_to_cold / max(cold_result["evaluations"], 1)
+        warm_start = record.warm_start or {}
+        delta = warm_start.get("delta", {})
+        return {
+            "cold_best_cost": cold_best,
+            "cold_evaluations": cold_result["evaluations"],
+            "warm_best_cost": warm_result["best_cost"],
+            "warm_evaluations": warm_result["evaluations"],
+            "warm_evals_to_cold_best": evals_to_cold,
+            "evals_ratio": ratio,
+            "reached_cold_best": reached is not None,
+            "warm_start_hit": int(record.warm_start is not None),
+            "warm_start_repairs": warm_start.get("repairs", 0),
+            "delta_kind": delta.get("kind"),
+            "delta_size": delta.get("size"),
+            "evaluations": (
+                cold_result["evaluations"] + warm_result["evaluations"]
+            ),
+            "report": (
+                f"service warm start (motion, 5% duration perturbation, "
+                f"{context.iterations} iterations)\n"
+                f"{'path':<22} {'evals to cold best':>19}\n"
+                f"{'cold (random init)':<22} "
+                f"{cold_result['evaluations']:>19}\n"
+                f"{'warm (delta-seeded)':<22} {evals_to_cold:>19}\n"
+                f"evals ratio: {ratio:.3f}x "
+                f"(delta {delta.get('kind')}/{delta.get('size')}, "
+                f"{warm_start.get('repairs', 0)} repair(s))"
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 # ----------------------------------------------------------------------
 # pure-analysis and kernel cases (quick + full)
 # ----------------------------------------------------------------------

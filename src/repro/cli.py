@@ -107,7 +107,10 @@ def _budget_spec(args: argparse.Namespace) -> BudgetSpec:
     """Explicit ``--warmup`` or the shared budget-scaled default
     (applied by the resolution pipeline when warmup is left unset)."""
     return BudgetSpec(
-        iterations=args.iterations, warmup_iterations=args.warmup
+        iterations=args.iterations,
+        warmup_iterations=args.warmup,
+        time_limit_s=getattr(args, "time_limit_s", None),
+        stall_limit=getattr(args, "stall_limit", None),
     )
 
 
@@ -504,7 +507,11 @@ def cmd_serve_submit(args: argparse.Namespace) -> int:
         return 0
     telemetry = _telemetry_for(args)
     service = _serve_service(args, telemetry)
-    outcome = service.submit(request)
+    deadline_s = getattr(args, "deadline_s", None)
+    if deadline_s is not None:
+        outcome = service.submit_anytime(request, deadline_s=deadline_s)
+    else:
+        outcome = service.submit(request)
     if args.json:
         document: Dict[str, Any] = {
             "key": outcome.key,
@@ -513,16 +520,20 @@ def cmd_serve_submit(args: argparse.Namespace) -> int:
             "attempts": outcome.record.attempts,
             "hits": outcome.record.hits,
         }
-        if outcome.response_text is not None:
+        if outcome.response is not None and outcome.response_text is None:
+            # anytime partials are live-only: never persisted to the cache
+            document["response"] = outcome.response.to_dict()
+        elif outcome.response_text is not None:
             document["response"] = json.loads(outcome.response_text)
         print(json.dumps(document, indent=2))
     else:
         print(f"{outcome.status}: {outcome.key}")
-        if outcome.status == "hit":
-            best = outcome.response.best or {}
+        if outcome.status in ("hit", "partial"):
+            best = (outcome.response.best if outcome.response else {}) or {}
             cost = best.get("cost")
             if cost is not None:
-                print(f"cached best: {cost:.2f} ms "
+                label = "cached" if outcome.status == "hit" else "partial"
+                print(f"{label} best: {cost:.2f} ms "
                       f"(seed {best.get('seed')})")
         elif outcome.status in ("queued", "resubmitted"):
             print("run 'repro serve run-workers' to execute it")
@@ -671,6 +682,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--warmup", type=int, default=None,
                        help="warmup iterations at infinite temperature "
                             "(default: min(1200, iterations/4))")
+        p.add_argument("--time-limit-s", type=float, default=None,
+                       metavar="SECONDS", dest="time_limit_s",
+                       help="wall-clock budget: stop the search once "
+                            "this many seconds have elapsed (the "
+                            "iteration budget still applies)")
+        p.add_argument("--stall-limit", type=int, default=None,
+                       metavar="N", dest="stall_limit",
+                       help="stop after N consecutive iterations "
+                            "without improving the best cost")
         p.add_argument("--engine", default="incremental",
                        choices=["full", "incremental", "array"],
                        help="evaluation engine (array = compiled NumPy "
@@ -864,6 +884,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--architecture", help="architecture JSON (default: EPICURE)")
     p.add_argument("--clbs", type=int, default=2000,
                    help="device size for the default architecture")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   metavar="SECONDS", dest="deadline_s",
+                   help="anytime serving: answer within this many "
+                        "seconds — cache hits are served instantly, "
+                        "otherwise the job runs inline with the "
+                        "deadline as its wall-clock budget and the "
+                        "best-so-far envelope is returned (marked "
+                        "partial; the record stays pending so workers "
+                        "can still finish the full run)")
     telemetry_flag(p)
     p.set_defaults(func=cmd_serve_submit)
 

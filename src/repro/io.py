@@ -5,13 +5,28 @@ mapping results can be archived, shared, and reloaded — what downstream
 users of a DSE tool actually need.  Round-tripping is exact (tested):
 ``load_application(dump_application(app))`` reproduces every task,
 implementation and edge.
+
+Two instance-identity notions live here:
+
+* the *content* hash (``bench.corpus.scenario_hash``) covers every
+  byte of the bundled document — two instances are the same problem iff
+  it matches;
+* the *structure* digest (:func:`structure_digest`) covers only the
+  topology skeleton — task indices and implementation counts, the
+  dependency edge set, and resource names/kinds — ignoring all numeric
+  durations/rates/capacities.  Instances sharing a structure digest can
+  exchange mapping solutions (possibly after repair), which is what the
+  exploration service's warm-start donor index keys on, with
+  :func:`diff_instances` classifying how far apart two such instances
+  actually are.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.arch.architecture import Architecture
 from repro.arch.asic import Asic
@@ -232,6 +247,227 @@ def dump_instance(instance: ProblemInstance, indent: int = 2) -> str:
 
 def load_instance(text: str) -> ProblemInstance:
     return instance_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# instance structure identity and deltas
+# ----------------------------------------------------------------------
+def _instance_document(
+    instance: Union[ProblemInstance, Dict[str, Any]],
+) -> Dict[str, Any]:
+    if isinstance(instance, ProblemInstance):
+        return instance_to_dict(instance)
+    return instance
+
+
+def structure_digest(
+    instance: Union[ProblemInstance, Dict[str, Any]],
+) -> str:
+    """SHA-256 of the instance's *structure-only* skeleton.
+
+    Covers the task index set with per-task implementation counts, the
+    dependency ``(src, dst)`` edge set, and the resource name/kind set —
+    and deliberately ignores every numeric field (durations, transfer
+    volumes, bus rates, CLB capacities, deadlines) plus names/metadata.
+    Two instances with equal digests describe the same mapping search
+    space shape: a solution document for one can seed the other.
+    """
+    doc = _instance_document(instance)
+    skeleton = {
+        "tasks": sorted(
+            [entry["index"], len(entry["implementations"])]
+            for entry in doc["application"]["tasks"]
+        ),
+        "deps": sorted(
+            [edge["src"], edge["dst"]]
+            for edge in doc["application"]["dependencies"]
+        ),
+        "resources": sorted(
+            [entry["name"], entry["kind"]]
+            for entry in doc["architecture"]["resources"]
+        ),
+    }
+    canonical = json.dumps(
+        skeleton, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+#: Cap on the per-field descriptions an :class:`InstanceDelta` carries.
+_DELTA_CHANGE_CAP = 32
+
+
+@dataclass
+class InstanceDelta:
+    """Classified difference between two problem instances.
+
+    ``kind`` is ``"identical"`` (no differences), ``"param"`` (only
+    numeric parameters differ — durations, volumes, rates, capacities,
+    deadline: a donor solution re-maps directly), or ``"structural"``
+    (tasks/edges/resources/implementations appeared or vanished: a
+    donor solution needs repair).  ``size`` counts every differing
+    field; ``changed`` holds up to ``_DELTA_CHANGE_CAP`` short
+    descriptions for diagnostics.
+    """
+
+    kind: str
+    size: int
+    param_changes: int
+    structural_changes: int
+    changed: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "size": self.size,
+            "param_changes": self.param_changes,
+            "structural_changes": self.structural_changes,
+            "changed": list(self.changed),
+        }
+
+
+class _DeltaBuilder:
+    def __init__(self) -> None:
+        self.param = 0
+        self.structural = 0
+        self.changed: List[str] = []
+
+    def _note(self, description: str) -> None:
+        if len(self.changed) < _DELTA_CHANGE_CAP:
+            self.changed.append(description)
+
+    def add_param(self, description: str) -> None:
+        self.param += 1
+        self._note(description)
+
+    def add_structural(self, description: str) -> None:
+        self.structural += 1
+        self._note(description)
+
+    def compare_scalar(self, label: str, a: Any, b: Any) -> None:
+        if a != b:
+            self.add_param(f"{label}: {a!r} -> {b!r}")
+
+    def build(self) -> InstanceDelta:
+        if self.structural:
+            kind = "structural"
+        elif self.param:
+            kind = "param"
+        else:
+            kind = "identical"
+        return InstanceDelta(
+            kind=kind,
+            size=self.param + self.structural,
+            param_changes=self.param,
+            structural_changes=self.structural,
+            changed=self.changed,
+        )
+
+
+def diff_instances(
+    a: Union[ProblemInstance, Dict[str, Any]],
+    b: Union[ProblemInstance, Dict[str, Any]],
+) -> InstanceDelta:
+    """Classify the delta between two instances (``a`` = donor,
+    ``b`` = target): param-only vs structural, and its size.
+
+    Works on :class:`ProblemInstance` objects or their canonical
+    bundled documents interchangeably.  Names and free-form metadata
+    are ignored — they carry no mapping semantics.
+    """
+    doc_a = _instance_document(a)
+    doc_b = _instance_document(b)
+    delta = _DeltaBuilder()
+
+    # -- tasks ---------------------------------------------------------
+    tasks_a = {t["index"]: t for t in doc_a["application"]["tasks"]}
+    tasks_b = {t["index"]: t for t in doc_b["application"]["tasks"]}
+    for index in sorted(tasks_a.keys() - tasks_b.keys()):
+        delta.add_structural(f"task {index} removed")
+    for index in sorted(tasks_b.keys() - tasks_a.keys()):
+        delta.add_structural(f"task {index} added")
+    for index in sorted(tasks_a.keys() & tasks_b.keys()):
+        ta, tb = tasks_a[index], tasks_b[index]
+        delta.compare_scalar(
+            f"task {index} sw_time_ms", ta["sw_time_ms"], tb["sw_time_ms"]
+        )
+        impls_a, impls_b = ta["implementations"], tb["implementations"]
+        if len(impls_a) != len(impls_b):
+            delta.add_structural(
+                f"task {index} implementations: "
+                f"{len(impls_a)} -> {len(impls_b)}"
+            )
+            continue
+        for k, (ia, ib) in enumerate(zip(impls_a, impls_b)):
+            delta.compare_scalar(
+                f"task {index} impl {k} clbs", ia["clbs"], ib["clbs"]
+            )
+            delta.compare_scalar(
+                f"task {index} impl {k} time_ms", ia["time_ms"], ib["time_ms"]
+            )
+
+    # -- dependencies --------------------------------------------------
+    deps_a = {
+        (e["src"], e["dst"]): e
+        for e in doc_a["application"]["dependencies"]
+    }
+    deps_b = {
+        (e["src"], e["dst"]): e
+        for e in doc_b["application"]["dependencies"]
+    }
+    for src, dst in sorted(deps_a.keys() - deps_b.keys()):
+        delta.add_structural(f"dependency ({src}, {dst}) removed")
+    for src, dst in sorted(deps_b.keys() - deps_a.keys()):
+        delta.add_structural(f"dependency ({src}, {dst}) added")
+    for key in sorted(deps_a.keys() & deps_b.keys()):
+        delta.compare_scalar(
+            f"dependency {key} data_kbytes",
+            deps_a[key]["data_kbytes"],
+            deps_b[key]["data_kbytes"],
+        )
+
+    # -- architecture --------------------------------------------------
+    bus_a, bus_b = doc_a["architecture"]["bus"], doc_b["architecture"]["bus"]
+    delta.compare_scalar(
+        "bus rate_kbytes_per_ms",
+        bus_a["rate_kbytes_per_ms"],
+        bus_b["rate_kbytes_per_ms"],
+    )
+    delta.compare_scalar(
+        "bus latency_ms",
+        bus_a.get("latency_ms", 0.0),
+        bus_b.get("latency_ms", 0.0),
+    )
+    res_a = {r["name"]: r for r in doc_a["architecture"]["resources"]}
+    res_b = {r["name"]: r for r in doc_b["architecture"]["resources"]}
+    for name in sorted(res_a.keys() - res_b.keys()):
+        delta.add_structural(f"resource {name!r} removed")
+    for name in sorted(res_b.keys() - res_a.keys()):
+        delta.add_structural(f"resource {name!r} added")
+    for name in sorted(res_a.keys() & res_b.keys()):
+        ra, rb = res_a[name], res_b[name]
+        if ra["kind"] != rb["kind"]:
+            delta.add_structural(
+                f"resource {name!r} kind: {ra['kind']!r} -> {rb['kind']!r}"
+            )
+            continue
+        for key in (
+            "speed_factor",
+            "n_clbs",
+            "reconfig_ms_per_clb",
+            "partial_reconfiguration",
+            "monetary_cost",
+        ):
+            if key in ra or key in rb:
+                delta.compare_scalar(
+                    f"resource {name!r} {key}", ra.get(key), rb.get(key)
+                )
+
+    # -- deadline ------------------------------------------------------
+    delta.compare_scalar(
+        "deadline_ms", doc_a.get("deadline_ms"), doc_b.get("deadline_ms")
+    )
+    return delta.build()
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional
 from repro.arch.processor import Processor
 from repro.graph.dag import NodeInterner
 from repro.graph.kernels import require_numpy
+from repro.graph.reachability import ReachabilityIndex
 from repro.mapping.search_graph import COMM_NODE
 from repro.model.application import Application
 
@@ -247,6 +248,30 @@ class CompiledInstance:
             return matrix
 
         return self._cached("impl_clbs_matrix", build)
+
+    # ------------------------------------------------------------------
+    # precedence reachability (lazy, cached; shared by forks)
+    # ------------------------------------------------------------------
+    @property
+    def reachability(self) -> ReachabilityIndex:
+        """Ancestor/descendant bitsets over the dense task ids.
+
+        Built once per compile pass from the immutable ``succ_ids``
+        adjacency and cached in ``_np_cache``, so :meth:`fork` siblings
+        share one index (the task-level precedence graph never changes
+        during a search).
+        """
+        return self._cached(
+            "reachability",
+            lambda: ReachabilityIndex.from_successors(self.succ_ids),
+        )
+
+    def precedes(self, src_task: int, dst_task: int) -> bool:
+        """Transitive precedence between two *application task indices*
+        (the compiled counterpart of ``application.precedes``)."""
+        return self.reachability.has_path(
+            self.tid[src_task], self.tid[dst_task]
+        )
 
     def processor_ms_matrix(self, architecture):
         """``(num_processors, ntasks)`` software durations on each of

@@ -1,0 +1,224 @@
+"""Deterministic decode-or-repair of persisted solution documents.
+
+Warm-started exploration seeds a search from the best solution of a
+*donor* run on a near-identical instance.  The donor document may no
+longer decode strictly against the new instance — tasks appear or
+vanish, implementation lists shrink, DRLCs lose capacity, resources get
+renamed away.  :func:`seed_solution` rebuilds as much of the donor
+placement as the new instance admits and deterministically repairs the
+rest, with **no randomness**: the same (document, instance) pair always
+yields the same seed solution.
+
+Repair proceeds in two stages:
+
+1. *Replay.*  Implementation choices out of range are clamped to the
+   largest valid index; placements the new instance rejects (vanished
+   resources, capacity overflow, lost hardware capability) fall back to
+   the first processor, inserted right after their last predecessor in
+   that order; tasks the donor never saw are placed the same way.
+2. *Feasibility gate.*  The replayed solution is scored once.  Cross-
+   resource serialization (the DRLC's strict context sequence) can
+   make a placement-wise valid replay cyclic, so an infeasible replay
+   escalates to the always-feasible fallback: every task on the first
+   processor in topological order, clamped implementation choices kept.
+
+The returned repair count is placement drift versus the donor document
+(tasks whose resource changed or that the donor never placed) plus the
+number of clamped implementation choices — 0 iff the document decoded
+verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.arch.architecture import Architecture
+from repro.errors import ArchitectureError, MappingError, ModelError
+from repro.mapping.solution import Solution
+from repro.model.application import Application
+
+__all__ = ["seed_solution"]
+
+
+def _donor_resources(document: Dict[str, Any]) -> Dict[int, str]:
+    """Task index -> resource name as recorded by the donor document."""
+    donor: Dict[int, str] = {}
+    for name, order in document.get("software_orders", {}).items():
+        for task_index in order:
+            donor[task_index] = name
+    for name, contexts in document.get("contexts", {}).items():
+        for members in contexts:
+            for task_index in members:
+                donor[task_index] = name
+    for name, members in document.get("asic_tasks", {}).items():
+        for task_index in members:
+            donor[task_index] = name
+    return donor
+
+
+def _clamped_choices(
+    document: Dict[str, Any], application: Application
+) -> Tuple[Dict[int, int], int]:
+    """Valid implementation choices for the new instance, plus how many
+    donor choices had to be adjusted."""
+    choices: Dict[int, int] = {}
+    clamps = 0
+    for key, choice in document.get("implementation_choices", {}).items():
+        task_index = int(key)
+        if task_index not in application:
+            continue
+        task = application.task(task_index)
+        if not task.hardware_capable:
+            clamps += 1
+            continue
+        if (
+            not isinstance(choice, int)
+            or isinstance(choice, bool)
+            or not 0 <= choice < task.num_implementations
+        ):
+            choice = task.num_implementations - 1
+            clamps += 1
+        choices[task_index] = choice
+    return choices, clamps
+
+
+def _fallback_processor(architecture: Architecture) -> str:
+    processors = architecture.processors()
+    if not processors:
+        raise MappingError(
+            "cannot repair seed solution: architecture has no processor "
+            "to fall back to"
+        )
+    return processors[0].name
+
+
+def _replay(
+    document: Dict[str, Any],
+    application: Application,
+    architecture: Architecture,
+    choices: Dict[int, int],
+) -> Solution:
+    """Re-apply the donor's placements, diverting rejected ones to the
+    first processor."""
+    solution = Solution(application, architecture)
+    for task_index, choice in choices.items():
+        solution.set_implementation_choice(task_index, choice)
+
+    known = set(application.task_indices())
+    leftovers: List[int] = []
+
+    def _try(placement, task_index: int) -> None:
+        if task_index not in known:
+            return  # task vanished from the instance: nothing to place
+        try:
+            placement()
+        except (MappingError, ModelError, ArchitectureError):
+            leftovers.append(task_index)
+
+    for proc_name, order in document.get("software_orders", {}).items():
+        for task_index in order:
+            _try(
+                lambda t=task_index, p=proc_name:
+                solution.assign_to_processor(t, p),
+                task_index,
+            )
+    for rc_name, contexts in document.get("contexts", {}).items():
+        for members in contexts:
+            spawned_at: List[int] = []  # filled once the context exists
+            for task_index in members:
+                if not spawned_at:
+                    def _spawn(t=task_index, r=rc_name, out=spawned_at):
+                        out.append(solution.spawn_context(t, r))
+                    _try(_spawn, task_index)
+                else:
+                    _try(
+                        lambda t=task_index, r=rc_name, k=spawned_at[0]:
+                        solution.assign_to_context(t, r, k),
+                        task_index,
+                    )
+    for asic_name, members in document.get("asic_tasks", {}).items():
+        for task_index in members:
+            _try(
+                lambda t=task_index, a=asic_name:
+                solution.assign_to_asic(t, a),
+                task_index,
+            )
+
+    placed = set(solution.assigned_tasks())
+    for task_index in application.topological_order():
+        if task_index not in placed and task_index not in leftovers:
+            leftovers.append(task_index)
+    if leftovers:
+        fallback = _fallback_processor(architecture)
+        rank = {t: i for i, t in enumerate(application.topological_order())}
+        for task_index in sorted(leftovers, key=rank.__getitem__):
+            # Insert right after the last predecessor already in the
+            # order: keeps the software order precedence-consistent
+            # (the feasibility gate in seed_solution catches the rarer
+            # cross-resource serialization cycles).
+            current = solution.software_order(fallback)
+            position = 0
+            for i, placed_task in enumerate(current):
+                if application.precedes(placed_task, task_index):
+                    position = i + 1
+            solution.assign_to_processor(task_index, fallback, position)
+    return solution
+
+
+def _all_software(
+    application: Application,
+    architecture: Architecture,
+    choices: Dict[int, int],
+) -> Solution:
+    """The always-feasible fallback: one processor, topological order."""
+    solution = Solution(application, architecture)
+    for task_index, choice in choices.items():
+        solution.set_implementation_choice(task_index, choice)
+    fallback = _fallback_processor(architecture)
+    for task_index in application.topological_order():
+        solution.assign_to_processor(task_index, fallback)
+    return solution
+
+
+def _is_feasible(solution: Solution) -> bool:
+    from repro.mapping.evaluator import Evaluator
+
+    evaluation = Evaluator(
+        solution.application, solution.architecture
+    ).evaluate(solution)
+    return math.isfinite(evaluation.makespan_ms)
+
+
+def seed_solution(
+    document: Dict[str, Any],
+    application: Application,
+    architecture: Architecture,
+) -> Tuple[Solution, int]:
+    """Decode ``document`` against the given instance, repairing what no
+    longer fits.  Returns ``(solution, repairs)`` where ``repairs`` is 0
+    iff the document decoded without any adjustment; the solution always
+    validates and is always feasible to schedule.
+
+    Unlike :func:`repro.io.solution_from_dict` this never raises on
+    drifted documents and does not require the application name to
+    match (warm-start matches instances structurally, not by name).
+    """
+    if document.get("format") != "solution":
+        raise MappingError(
+            f"seed document is not a solution (format="
+            f"{document.get('format')!r})"
+        )
+    choices, clamps = _clamped_choices(document, application)
+    solution = _replay(document, application, architecture, choices)
+    if not _is_feasible(solution):
+        solution = _all_software(application, architecture, choices)
+    solution.validate()
+
+    donor = _donor_resources(document)
+    drift = sum(
+        1
+        for task_index in application.task_indices()
+        if donor.get(task_index) != solution.resource_name_of(task_index)
+    )
+    return solution, clamps + drift

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import CycleError, ModelError
 from repro.graph.closure import PathCountClosure
 from repro.graph.dag import Dag
+from repro.graph.reachability import ReachabilityIndex
 from repro.model.task import Implementation, Task
 
 
@@ -25,6 +26,7 @@ class Application:
         self._dag = Dag()
         self._tasks: Dict[int, Task] = {}
         self._closure: Optional[PathCountClosure] = None
+        self._reachability: Optional[ReachabilityIndex] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -37,6 +39,7 @@ class Application:
         self._tasks[task.index] = task
         self._dag.add_node(task.index)
         self._closure = None
+        self._reachability = None
         return task
 
     def add_dependency(self, src: int, dst: int, data_kbytes: float = 0.0) -> None:
@@ -47,6 +50,7 @@ class Application:
             raise ModelError("data_kbytes must be >= 0")
         self._dag.add_edge(src, dst, weight=data_kbytes)
         self._closure = None
+        self._reachability = None
 
     # ------------------------------------------------------------------
     # queries
@@ -115,9 +119,24 @@ class Application:
             self._closure = PathCountClosure.from_dag(self._dag)
         return self._closure
 
+    def reachability(self) -> ReachabilityIndex:
+        """Static ancestor/descendant bitsets of the precedence graph.
+
+        Cached like :meth:`closure`; rebuilt after any task/dependency
+        addition.  This is the move generator's hot path: ``precedes``
+        answers through one shift-and-mask instead of the closure's
+        dict-and-list walk.
+        """
+        if self._reachability is None:
+            self._reachability = ReachabilityIndex.from_dag(self._dag)
+        return self._reachability
+
     def precedes(self, a: int, b: int) -> bool:
         """True when task ``a`` must finish before ``b`` starts."""
-        return self.closure().has_path(a, b)
+        index = self._reachability
+        if index is None:
+            index = self.reachability()
+        return index.has_path(a, b)
 
     def total_sw_time_ms(self) -> float:
         """Execution time of the all-software, fully serialized mapping."""

@@ -162,6 +162,14 @@ class SearchJob:
     worker builds a private recorder for its run and ships the exported
     event stream back inside ``result.extras["telemetry"]``.  Like the
     budget, it is not part of the checkpoint fingerprint.
+
+    ``anytime`` is a plain-dict snapshot config
+    (``{"interval_iterations": n}`` and/or ``{"interval_s": secs}``).
+    Callbacks cannot cross the spawn boundary, so the worker builds the
+    periodic incumbent recorder itself and ships the snapshots back
+    inside ``result.extras["anytime"]``.  Also not part of the
+    checkpoint fingerprint (checkpoint-restored results carry no
+    snapshots).
     """
 
     strategy: StrategySpec
@@ -171,6 +179,7 @@ class SearchJob:
     initial: Optional[Solution] = None
     budget: Optional[SearchBudget] = None
     telemetry: Optional[Dict[str, Any]] = None
+    anytime: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -341,6 +350,53 @@ def build_strategy(
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
+def _anytime_recorder(config: Dict[str, Any]):
+    """A periodic incumbent-snapshot ``on_step`` hook.
+
+    Returns ``(snapshots, on_step)``; the hook appends
+    ``{iteration, best_cost, current_cost, elapsed_s}`` whenever the
+    iteration and/or wall-clock interval elapses.  The ``_s`` suffix
+    keeps the wall-clock field inside the telemetry determinism
+    contract (``strip_times`` drops ``*_s`` keys).
+    """
+    import time
+
+    snapshots: List[Dict[str, Any]] = []
+    interval_iterations = config.get("interval_iterations")
+    interval_s = config.get("interval_s")
+    started = time.perf_counter()
+    state = {
+        "next_iteration": interval_iterations or 0,
+        "next_elapsed": interval_s or 0.0,
+    }
+
+    def on_step(step) -> None:
+        due = interval_iterations is not None and (
+            step.iteration >= state["next_iteration"]
+        )
+        elapsed = None
+        if not due:
+            if interval_s is None:
+                return
+            elapsed = time.perf_counter() - started
+            if elapsed < state["next_elapsed"]:
+                return
+        if elapsed is None:
+            elapsed = time.perf_counter() - started
+        snapshots.append({
+            "iteration": step.iteration,
+            "best_cost": step.best_cost,
+            "current_cost": step.current_cost,
+            "elapsed_s": elapsed,
+        })
+        if interval_iterations is not None:
+            state["next_iteration"] = step.iteration + interval_iterations
+        if interval_s is not None:
+            state["next_elapsed"] = elapsed + interval_s
+
+    return snapshots, on_step
+
+
 def _execute_job(payload: Tuple[int, SearchJob]) -> Tuple[int, SearchResult]:
     """Worker entry point (top-level, hence spawn-picklable).
 
@@ -348,7 +404,9 @@ def _execute_job(payload: Tuple[int, SearchJob]) -> Tuple[int, SearchResult]:
     own private recorder and ships the exported stream back inside
     ``result.extras["telemetry"]`` — the parent absorbs the streams in
     submission-index order, so the merged stream is deterministic no
-    matter how many workers raced.
+    matter how many workers raced.  An ``anytime`` config likewise runs
+    worker-side: the snapshots travel back in
+    ``result.extras["anytime"]``.
     """
     index, job = payload
     application, architecture = job.instance.build()
@@ -359,7 +417,19 @@ def _execute_job(payload: Tuple[int, SearchJob]) -> Tuple[int, SearchResult]:
 
         recorder = Telemetry(label=job.strategy.kind, **job.telemetry)
         strategy.telemetry = recorder
-    result = strategy.search(job.initial, budget=job.budget)
+    on_step = None
+    snapshots = None
+    if job.anytime is not None:
+        snapshots, on_step = _anytime_recorder(job.anytime)
+    result = strategy.search(job.initial, budget=job.budget, on_step=on_step)
+    if snapshots is not None:
+        result.extras["anytime"] = {
+            "snapshots": snapshots,
+            "interval_iterations": job.anytime.get("interval_iterations"),
+            "interval_s": job.anytime.get("interval_s"),
+        }
+        if snapshots and recorder is not None and recorder.enabled:
+            recorder.count("anytime_snapshot", len(snapshots))
     if recorder is not None:
         result.extras["telemetry"] = recorder.export()
     return index, result

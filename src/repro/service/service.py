@@ -16,8 +16,14 @@ addressed (request hash × resolved instance hash), and
 * no record means a **cache miss** — row + queue ticket are created
   for the worker pool.
 
+A cache miss additionally probes the warm-start ``near/`` index (see
+:meth:`ExplorationService.submit`), and ``submit_anytime`` serves
+deadline-capped best-so-far envelopes while the full job stays queued.
+
 Telemetry: the service recorder counts ``cache_hit`` / ``cache_miss``
-/ ``dedupe_inflight`` / ``job_resubmitted`` and times every key
+/ ``dedupe_inflight`` / ``job_resubmitted`` — plus ``warm_start_hit``
+/ ``warm_start_repair`` on warm-started submits and
+``anytime_partial`` on deadline-capped ones — and times every key
 computation + record lookup under the ``store_lookup`` phase; the
 queue adds ``job_requeued`` and the ``job_execute`` phase (see
 :mod:`repro.service.jobs`).  All of it surfaces through
@@ -29,14 +35,14 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.api.facade import ExplorationResponse, environment_stamp
 from repro.api.specs import ExplorationRequest
-from repro.errors import ServiceError
+from repro.errors import ConfigurationError, MappingError, ServiceError
 from repro.obs.telemetry import NULL
 from repro.service.jobs import JobQueue
-from repro.service.store import JobRecord, ResultStore
+from repro.service.store import InstanceInfo, JobRecord, ResultStore
 
 __all__ = [
     "STATS_FORMAT",
@@ -46,10 +52,21 @@ __all__ = [
 ]
 
 STATS_FORMAT = "exploration-service-stats"
-STATS_SCHEMA_VERSION = 1
+STATS_SCHEMA_VERSION = 2
 
-#: ``SubmitOutcome.status`` values.
-SUBMIT_STATUSES = ("hit", "queued", "inflight", "resubmitted")
+#: ``SubmitOutcome.status`` values.  ``partial`` is the anytime path:
+#: a deadline-capped in-process run served a best-so-far envelope while
+#: the full job stays queued.
+SUBMIT_STATUSES = ("hit", "queued", "inflight", "resubmitted", "partial")
+
+#: Request kinds whose records can donate/receive warm-start seeds (one
+#: fixed instance per run, so the best solution maps onto a near
+#: instance; sweeps and portfolios vary the platform per job).
+_WARM_KINDS = ("single", "batch")
+
+#: Strategies that use an initial solution (population/sampling
+#: strategies generate their own starting points and ignore it).
+_WARM_STRATEGIES = ("sa", "tempering", "hill_climber", "tabu")
 
 
 @dataclass
@@ -83,20 +100,152 @@ class ExplorationService:
     # -- submit --------------------------------------------------------
     def submit(self, request: ExplorationRequest) -> SubmitOutcome:
         """Cache-first submit; never computes, only looks up or enqueues
-        (workers — or :meth:`run_local` — do the computing)."""
+        (workers — or :meth:`run_local` — do the computing).
+
+        A cache miss additionally consults the warm-start ``near/``
+        index: when a completed record exists for a structurally
+        identical instance (same topology and resource kinds, numeric
+        fields free to differ), its persisted best solution is re-mapped
+        onto the new instance — repaired deterministically where the
+        drift invalidated assignments — and the queued job is rewritten
+        to anneal from that seed with warmup skipped.  The cache key is
+        always the *original* request's, so warm-started results are
+        served back under the identity the client submitted.
+        """
         request.validate()
         with self.telemetry.phase("store_lookup"):
-            key, request_hash, instance_hash = self.store.cache_key(request)
+            key, request_hash, info = self.store.cache_key_info(request)
             record, created = self.store.create_record(
-                key, request_hash, instance_hash, request.to_dict()
+                key, request_hash, info.instance_hash, request.to_dict()
             )
         if created:
+            self._register_instance(record, info)
+            self._try_warm_start(record, request, info)
             self.queue.enqueue(key)
             self.telemetry.count("cache_miss")
             if self.telemetry.enabled:
                 self.telemetry.event("submit", key=key, status="queued")
             return SubmitOutcome(key=key, status="queued", record=record)
         return self._attach(key, record)
+
+    def _register_instance(
+        self, record: JobRecord, info: InstanceInfo
+    ) -> None:
+        """Persist the instance document and file the record under its
+        structure digest (what makes it findable as a future donor)."""
+        self.store.put_instance(info.instance_hash, info.document)
+        self.store.index_near(info.structure_hash, record.key)
+        record.structure_hash = info.structure_hash
+        self.store.write_record(record)
+
+    def _try_warm_start(
+        self,
+        record: JobRecord,
+        request: ExplorationRequest,
+        info: InstanceInfo,
+    ) -> None:
+        """Seed the freshly queued job from the best near-instance donor
+        (no-op when no donor qualifies; never fails the submit)."""
+        if request.kind not in _WARM_KINDS:
+            return
+        if request.strategy.kind not in _WARM_STRATEGIES:
+            return
+        if request.strategy.initial_solution is not None:
+            return  # the client seeded the run explicitly
+        try:
+            donor, delta = self._best_donor(record.key, info)
+            if donor is None:
+                return
+            rewritten, repairs = self._warm_rewrite(request, info, donor)
+        except (ServiceError, ConfigurationError, MappingError):
+            return
+        record.request = rewritten
+        record.warm_start = {
+            "donor": donor.key,
+            "delta": delta.to_dict(),
+            "repairs": repairs,
+        }
+        self.store.write_record(record)
+        self.telemetry.count("warm_start_hit")
+        if repairs:
+            self.telemetry.count("warm_start_repair", repairs)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "warm_start",
+                key=record.key,
+                donor=donor.key,
+                delta_kind=delta.kind,
+                delta_size=delta.size,
+                repairs=repairs,
+            )
+
+    def _best_donor(
+        self, key: str, info: InstanceInfo
+    ) -> Tuple[Optional[JobRecord], Any]:
+        """The completed near-index record with the smallest instance
+        delta (ties broken lexicographically by key)."""
+        from repro.io import diff_instances
+
+        best: Optional[JobRecord] = None
+        best_delta = None
+        for candidate_key in self.store.near_keys(info.structure_hash):
+            if candidate_key == key:
+                continue
+            try:
+                candidate = self.store.load_record(candidate_key)
+            except ServiceError:
+                continue
+            if candidate.status != "done":
+                continue
+            if candidate.request.get("kind") not in _WARM_KINDS:
+                continue
+            donor_doc = self.store.instance_document(candidate.instance_hash)
+            if donor_doc is None:
+                continue
+            delta = diff_instances(donor_doc, info.document)
+            if delta.kind == "structural":
+                continue  # same digest yet structural drift: stale index
+            if best_delta is None or (
+                (delta.size, candidate.key) < (best_delta.size, best.key)
+            ):
+                best, best_delta = candidate, delta
+        return best, best_delta
+
+    def _warm_rewrite(
+        self,
+        request: ExplorationRequest,
+        info: InstanceInfo,
+        donor: JobRecord,
+    ) -> Tuple[Dict[str, Any], int]:
+        """The queued job's rewritten request document: donor's best
+        solution re-mapped onto the new instance as ``initial_solution``
+        plus ``warmup_iterations=0`` (the annealer's infinite-temperature
+        warmup would randomize the seed away).
+
+        Repair happens here, at submit time, against the new resolved
+        instance — so the embedded document always decodes strictly at
+        execution time and the repair count is observable in the
+        record's ``warm_start`` block.
+        """
+        from repro.io import instance_from_dict, solution_to_dict
+        from repro.mapping.seed import seed_solution
+
+        envelope = self.store.get_response(donor.key)
+        if envelope.best is None or "solution" not in envelope.best:
+            raise ServiceError(f"donor {donor.key!r} has no best solution")
+        instance = instance_from_dict(info.document)
+        seed, repairs = seed_solution(
+            envelope.best["solution"],
+            instance.application,
+            instance.architecture,
+        )
+        rewritten = request.to_dict()
+        rewritten["strategy"]["initial_solution"] = solution_to_dict(seed)
+        if request.strategy.kind in ("sa", "tempering"):
+            rewritten["budget"]["warmup_iterations"] = 0
+        # The rewrite must execute: validate it the way the worker will.
+        ExplorationRequest.from_dict(rewritten).validate()
+        return rewritten, repairs
 
     def _attach(self, key: str, record: JobRecord) -> SubmitOutcome:
         """Submit outcome for a key whose record already existed."""
@@ -128,6 +277,49 @@ class ExplorationService:
         if self.telemetry.enabled:
             self.telemetry.event("submit", key=key, status="inflight")
         return SubmitOutcome(key=key, status="inflight", record=record)
+
+    def submit_anytime(
+        self, request: ExplorationRequest, deadline_s: float
+    ) -> SubmitOutcome:
+        """Deadline-aware submit: a cache hit is served instantly; any
+        other outcome additionally runs the (possibly warm-started) job
+        in-process with its wall-clock budget capped at ``deadline_s``
+        and returns the best-so-far envelope as a ``partial`` outcome.
+
+        The partial envelope is marked ``summary["partial"] = True`` and
+        is **not** cached — the record stays queued, so a later worker
+        (or :meth:`run_local`) still computes and persists the full
+        result under the same key.
+        """
+        if deadline_s <= 0:
+            raise ServiceError("deadline_s must be > 0")
+        outcome = self.submit(request)
+        if outcome.status == "hit":
+            return outcome
+        record = self.store.load_record(outcome.key)
+        executed = ExplorationRequest.from_dict(record.request)
+        capped = executed.to_dict()
+        capped["budget"]["time_limit_s"] = deadline_s
+        partial_request = ExplorationRequest.from_dict(capped)
+        from repro.api.facade import explore
+
+        with self.telemetry.phase("anytime_partial"):
+            response = explore(partial_request)
+        response.summary = dict(response.summary, partial=True)
+        self.telemetry.count("anytime_partial")
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "submit_anytime",
+                key=outcome.key,
+                status="partial",
+                deadline_s=deadline_s,
+            )
+        return SubmitOutcome(
+            key=outcome.key,
+            status="partial",
+            record=record,
+            response=response,
+        )
 
     def run_local(self, jobs: int = 1, max_jobs: Optional[int] = None) -> int:
         """Drain the queue in-process (no pool); jobs executed.  The
@@ -176,12 +368,17 @@ class ExplorationService:
         executions = 0
         hits = 0
         failed_attempts = 0
+        warm_start_hits = 0
+        warm_start_repairs = 0
         for record in self.store.iter_records():
             by_status[record.status] += 1
             executions += record.attempts
             hits += record.hits
             if record.status == "failed":
                 failed_attempts += record.attempts
+            if record.warm_start is not None:
+                warm_start_hits += 1
+                warm_start_repairs += record.warm_start.get("repairs", 0)
         results_dir = os.path.join(self.store.root, self.store.RESULTS_DIR)
         return {
             "format": STATS_FORMAT,
@@ -197,6 +394,8 @@ class ExplorationService:
             "executions": executions,
             "hits": hits,
             "failed_attempts": failed_attempts,
+            "warm_start_hits": warm_start_hits,
+            "warm_start_repairs": warm_start_repairs,
             "results": sum(
                 1 for name in os.listdir(results_dir)
                 if name.endswith(".json")
@@ -253,4 +452,20 @@ class ExplorationService:
                     except FileNotFoundError:
                         continue
                     removed[bucket] += 1
+            # Near-index markers whose record row is gone (nested one
+            # level: near/<structure_hash>/<key>).
+            near_root = os.path.join(self.store.root, self.store.NEAR_DIR)
+            if os.path.isdir(near_root):
+                for structure_hash in os.listdir(near_root):
+                    bucket_dir = os.path.join(near_root, structure_hash)
+                    if not os.path.isdir(bucket_dir):
+                        continue
+                    for name in os.listdir(bucket_dir):
+                        if name in keys:
+                            continue
+                        try:
+                            os.unlink(os.path.join(bucket_dir, name))
+                        except FileNotFoundError:
+                            continue
+                        removed["orphan_tickets"] += 1
         return removed

@@ -53,10 +53,12 @@ __all__ = [
     "RECORD_FORMAT",
     "RECORD_SCHEMA_VERSION",
     "RECORD_STATES",
+    "InstanceInfo",
     "JobRecord",
     "ResultStore",
     "compose_cache_key",
     "instance_hash_for",
+    "instance_info_for",
 ]
 
 RECORD_FORMAT = "exploration-record"
@@ -69,20 +71,32 @@ RECORD_SCHEMA_VERSION = 1
 RECORD_STATES = ("pending", "running", "done", "failed")
 
 
-def instance_hash_for(request: ExplorationRequest) -> str:
-    """SHA-256 of the request's *resolved* problem instance.
+@dataclass(frozen=True)
+class InstanceInfo:
+    """Everything one resolution of a request's problem instance yields:
+    the content digest (cache-key component), the structure-only digest
+    (warm-start near-index key) and the canonical bundled document."""
 
-    Resolves the application and architecture through the one pipeline
-    (:mod:`repro.api.resolve`) and hashes the canonical bundled instance
-    document via :func:`repro.bench.corpus.scenario_hash`, so service
-    cache keys and bench corpus identities share one digest vocabulary.
-    For sweep requests (whose per-cell platforms are derived from
-    ``sizes``) this binds the base problem; the grid itself is covered
-    by the request hash.
+    instance_hash: str
+    structure_hash: str
+    document: Dict[str, Any]
+
+
+def instance_info_for(request: ExplorationRequest) -> InstanceInfo:
+    """Resolve the request's problem instance once and digest it twice.
+
+    ``instance_hash`` is the canonical-document SHA-256 of
+    :func:`repro.bench.corpus.scenario_hash` (service cache keys and
+    bench corpus identities share one digest vocabulary);
+    ``structure_hash`` is :func:`repro.io.structure_digest` — topology
+    plus resource kinds only, ignoring every numeric field — the key of
+    the warm-start ``near/`` secondary index.  For sweep requests (whose
+    per-cell platforms are derived from ``sizes``) both bind the base
+    problem; the grid itself is covered by the request hash.
     """
     from repro.api.resolve import resolve_application, resolve_architecture
     from repro.bench.corpus import scenario_hash
-    from repro.io import ProblemInstance
+    from repro.io import ProblemInstance, instance_to_dict, structure_digest
 
     problem = resolve_application(request.application)
     architecture = resolve_architecture(
@@ -91,13 +105,23 @@ def instance_hash_for(request: ExplorationRequest) -> str:
     deadline = request.deadline_ms
     if deadline is None:
         deadline = problem.deadline_ms
-    return scenario_hash(
-        ProblemInstance(
-            application=problem.application,
-            architecture=architecture,
-            deadline_ms=deadline,
-        )
+    instance = ProblemInstance(
+        application=problem.application,
+        architecture=architecture,
+        deadline_ms=deadline,
     )
+    document = instance_to_dict(instance)
+    return InstanceInfo(
+        instance_hash=scenario_hash(instance),
+        structure_hash=structure_digest(document),
+        document=document,
+    )
+
+
+def instance_hash_for(request: ExplorationRequest) -> str:
+    """SHA-256 of the request's *resolved* problem instance (the
+    cache-key component; see :func:`instance_info_for`)."""
+    return instance_info_for(request).instance_hash
 
 
 def compose_cache_key(request_hash: str, instance_hash: str) -> str:
@@ -136,6 +160,12 @@ class JobRecord:
     #: Counters/timers snapshot of the job's own telemetry recorder,
     #: absorbed at completion (``None`` until then).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Structure-only digest of the resolved instance (the ``near/``
+    #: secondary-index key this record is filed under).
+    structure_hash: Optional[str] = None
+    #: Warm-start provenance, set when submit seeded this job from a
+    #: donor record: ``{"donor", "delta", "repairs"}``.
+    warm_start: Optional[Dict[str, Any]] = None
     history: List[Dict[str, Any]] = field(default_factory=list)
 
     def transition(
@@ -189,6 +219,8 @@ class JobRecord:
             "error": self.error,
             "environment": dict(self.environment),
             "telemetry": self.telemetry,
+            "structure_hash": self.structure_hash,
+            "warm_start": self.warm_start,
             "history": list(self.history),
             "request": self.request,
         }
@@ -226,6 +258,8 @@ class JobRecord:
             error=data.get("error"),
             environment=dict(data.get("environment", {})),
             telemetry=data.get("telemetry"),
+            structure_hash=data.get("structure_hash"),
+            warm_start=data.get("warm_start"),
             history=list(data.get("history", [])),
         )
 
@@ -246,6 +280,13 @@ class ResultStore:
     RESULTS_DIR = "results"
     QUEUE_DIR = "queue"
     CLAIMS_DIR = "claims"
+    #: Warm-start support: ``instances/<instance_hash>.json`` holds the
+    #: resolved instance document; ``near/<structure_hash>/<key>``
+    #: marker files index records by structure-only digest, so a submit
+    #: can find completed runs on structurally-identical instances
+    #: without scanning every record.
+    INSTANCES_DIR = "instances"
+    NEAR_DIR = "near"
 
     def __init__(self, root: str, create: bool = True) -> None:
         self.root = os.path.abspath(root)
@@ -253,6 +294,7 @@ class ResultStore:
             for name in (
                 self.RECORDS_DIR, self.RESULTS_DIR,
                 self.QUEUE_DIR, self.CLAIMS_DIR,
+                self.INSTANCES_DIR, self.NEAR_DIR,
             ):
                 os.makedirs(os.path.join(self.root, name), exist_ok=True)
         elif not os.path.isdir(os.path.join(self.root, self.RECORDS_DIR)):
@@ -274,16 +316,32 @@ class ResultStore:
     def claim_ticket(self, key: str) -> str:
         return os.path.join(self.root, self.CLAIMS_DIR, f"{key}.ticket")
 
+    def instance_path(self, instance_hash: str) -> str:
+        return os.path.join(
+            self.root, self.INSTANCES_DIR, f"{instance_hash}.json"
+        )
+
+    def near_marker(self, structure_hash: str, key: str) -> str:
+        return os.path.join(self.root, self.NEAR_DIR, structure_hash, key)
+
     # -- keys ----------------------------------------------------------
+    def cache_key_info(
+        self, request: ExplorationRequest
+    ) -> Tuple[str, str, InstanceInfo]:
+        """``(key, request_hash, instance info)`` — one resolution pass
+        yields the cache key *and* the warm-start index inputs."""
+        request_hash = request.content_hash()
+        info = instance_info_for(request)
+        return (
+            compose_cache_key(request_hash, info.instance_hash),
+            request_hash,
+            info,
+        )
+
     def cache_key(self, request: ExplorationRequest) -> Tuple[str, str, str]:
         """``(key, request_hash, instance_hash)`` for a request."""
-        request_hash = request.content_hash()
-        instance_hash = instance_hash_for(request)
-        return (
-            compose_cache_key(request_hash, instance_hash),
-            request_hash,
-            instance_hash,
-        )
+        key, request_hash, info = self.cache_key_info(request)
+        return key, request_hash, info.instance_hash
 
     # -- atomic write --------------------------------------------------
     def _atomic_write(self, path: str, text: str) -> None:
@@ -361,14 +419,61 @@ class ResultStore:
             yield self.load_record(key)
 
     def delete_record(self, key: str) -> None:
-        for path in (
+        structure_hash = None
+        try:
+            structure_hash = self.load_record(key).structure_hash
+        except ServiceError:
+            pass
+        paths = [
             self.record_path(key), self.result_path(key),
             self.queue_ticket(key), self.claim_ticket(key),
-        ):
+        ]
+        if structure_hash is not None:
+            paths.append(self.near_marker(structure_hash, key))
+        for path in paths:
             try:
                 os.unlink(path)
             except FileNotFoundError:
                 pass
+
+    # -- warm-start index ----------------------------------------------
+    def put_instance(
+        self, instance_hash: str, document: Dict[str, Any]
+    ) -> None:
+        """Persist the resolved instance document (content-addressed:
+        an existing file is already byte-equivalent, skip the write)."""
+        path = self.instance_path(instance_hash)
+        if os.path.exists(path):
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._atomic_write(
+            path, json.dumps(document, sort_keys=True, indent=2)
+        )
+
+    def instance_document(self, instance_hash: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.instance_path(instance_hash), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def index_near(self, structure_hash: str, key: str) -> None:
+        """File ``key`` under the structure-only digest (idempotent)."""
+        marker = self.near_marker(structure_hash, key)
+        os.makedirs(os.path.dirname(marker), exist_ok=True)
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+
+    def near_keys(self, structure_hash: str) -> List[str]:
+        """Record keys filed under ``structure_hash``, sorted."""
+        directory = os.path.join(self.root, self.NEAR_DIR, structure_hash)
+        try:
+            return sorted(os.listdir(directory))
+        except FileNotFoundError:
+            return []
 
     # -- envelopes -----------------------------------------------------
     def put_response(self, key: str, response: ExplorationResponse) -> str:

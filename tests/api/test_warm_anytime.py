@@ -1,0 +1,289 @@
+"""Spec-level warm-start seeding and anytime snapshots through explore.
+
+Two additive contracts:
+
+* ``StrategySpec.initial_solution`` / ``BudgetSpec.anytime`` are
+  omit-when-None — requests that do not use them serialize (and
+  content-hash) byte-identically to before the fields existed;
+* a seeded run starts from the given solution (deterministically,
+  engine-independently) and an anytime budget surfaces periodic
+  incumbent snapshots as the response's ``partials`` section.
+"""
+
+import json
+
+import pytest
+
+from repro.api.facade import ExplorationResponse, explore
+from repro.api.specs import (
+    ApplicationSpec,
+    BudgetSpec,
+    EngineSpec,
+    ExplorationRequest,
+    StrategySpec,
+)
+from repro.errors import ConfigurationError
+from repro.io import ProblemInstance, instance_to_dict
+
+SEED_DOC_STUB = {"format": "solution"}
+
+
+@pytest.fixture
+def instance_doc(small_app, small_arch):
+    return instance_to_dict(
+        ProblemInstance(small_app, small_arch, deadline_ms=40.0)
+    )
+
+
+def request_for(document, **overrides):
+    base = dict(
+        kind="single",
+        application=ApplicationSpec(kind="bundled", document=document),
+        strategy=StrategySpec("sa", {"keep_trace": True}),
+        budget=BudgetSpec(iterations=80, warmup_iterations=10),
+        seed=5,
+    )
+    base.update(overrides)
+    return ExplorationRequest(**base)
+
+
+class TestSpecValidation:
+    def test_initial_solution_must_be_solution_document(self):
+        spec = StrategySpec("sa", initial_solution={"format": "instance"})
+        with pytest.raises(ConfigurationError, match="solution document"):
+            spec.validate()
+
+    def test_initial_solution_must_be_mapping(self):
+        spec = StrategySpec("sa", initial_solution=[1, 2])
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            spec.validate()
+
+    def test_initial_solution_rejects_catalog(self):
+        spec = StrategySpec(
+            "sa",
+            catalog=({"kind": "processor"},),
+            initial_solution=SEED_DOC_STUB,
+        )
+        with pytest.raises(ConfigurationError, match="catalog"):
+            spec.validate()
+
+    def test_initial_solution_single_and_batch_only(self, instance_doc):
+        request = request_for(
+            instance_doc,
+            kind="sweep",
+            sizes=(200, 400),
+            strategy=StrategySpec("sa", initial_solution=SEED_DOC_STUB),
+        )
+        with pytest.raises(ConfigurationError, match="single and batch"):
+            request.validate()
+
+    @pytest.mark.parametrize(
+        "anytime, message",
+        [
+            ({}, "interval_iterations and/or"),
+            ({"bogus": 1}, "unknown"),
+            ({"interval_iterations": 0}, "int >= 1"),
+            ({"interval_iterations": True}, "int >= 1"),
+            ({"interval_s": 0}, "> 0"),
+            ({"interval_s": True}, "> 0"),
+        ],
+    )
+    def test_anytime_validation(self, anytime, message):
+        with pytest.raises(ConfigurationError, match=message):
+            BudgetSpec(iterations=10, anytime=anytime).validate()
+
+    def test_anytime_rejected_for_portfolio(self, instance_doc):
+        request = request_for(
+            instance_doc,
+            kind="portfolio",
+            strategy=StrategySpec("sa", {}),
+            budget=BudgetSpec(
+                iterations=20, anytime={"interval_iterations": 5}
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="portfolio"):
+            request.validate()
+
+
+class TestCanonicalStability:
+    """Unused warm/anytime fields leave the wire format untouched."""
+
+    def test_unused_fields_are_omitted(self, instance_doc):
+        document = request_for(instance_doc).to_dict()
+        assert "initial_solution" not in document["strategy"]
+        assert "anytime" not in document["budget"]
+        response_doc = explore(request_for(instance_doc)).to_dict()
+        assert "partials" not in response_doc
+
+    def test_used_fields_round_trip(self, instance_doc):
+        request = request_for(
+            instance_doc,
+            budget=BudgetSpec(
+                iterations=80,
+                warmup_iterations=10,
+                anytime={"interval_iterations": 20},
+            ),
+        )
+        document = request.to_dict()
+        assert document["budget"]["anytime"] == {"interval_iterations": 20}
+        assert ExplorationRequest.from_dict(document) == request
+
+    def test_content_hash_unchanged_by_new_none_fields(self, instance_doc):
+        # the content hash is over the canonical document; absent-when-
+        # None means pre-PR requests hash identically
+        request = request_for(instance_doc)
+        text = request.to_json()
+        assert "initial_solution" not in text
+        assert "anytime" not in text
+
+
+class TestSeededExplore:
+    def _donor_best(self, instance_doc):
+        response = explore(request_for(instance_doc))
+        return response.best
+
+    def test_seeded_run_starts_from_the_seed(self, instance_doc):
+        donor_best = self._donor_best(instance_doc)
+        seeded = explore(request_for(
+            instance_doc,
+            strategy=StrategySpec(
+                "sa",
+                {"keep_trace": True},
+                initial_solution=donor_best["solution"],
+            ),
+            budget=BudgetSpec(iterations=80, warmup_iterations=0),
+        ))
+        # best-so-far can only improve on the donor's incumbent
+        assert seeded.best["cost"] <= donor_best["cost"] + 1e-9
+        history = seeded.results[0]["history"]
+        assert history[0] <= donor_best["cost"] + 1e-9
+
+    def test_seeded_run_is_engine_independent(self, instance_doc):
+        donor_best = self._donor_best(instance_doc)
+        histories = []
+        for engine in ("full", "incremental", "array"):
+            response = explore(request_for(
+                instance_doc,
+                strategy=StrategySpec(
+                    "sa",
+                    {"keep_trace": True},
+                    initial_solution=donor_best["solution"],
+                ),
+                budget=BudgetSpec(iterations=60, warmup_iterations=0),
+                engine=EngineSpec(engine),
+            ))
+            histories.append(response.results[0]["history"])
+        assert histories[0] == histories[1] == histories[2]
+
+    def test_seeded_run_is_deterministic(self, instance_doc):
+        from repro.obs.telemetry import strip_times
+
+        donor_best = self._donor_best(instance_doc)
+        request = request_for(
+            instance_doc,
+            strategy=StrategySpec(
+                "sa", {}, initial_solution=donor_best["solution"],
+            ),
+            budget=BudgetSpec(iterations=60, warmup_iterations=0),
+        )
+        a = strip_times(explore(request).to_dict())
+        b = strip_times(explore(request).to_dict())
+        assert a == b
+
+    def test_batch_threads_the_seed_to_every_run(self, instance_doc):
+        donor_best = self._donor_best(instance_doc)
+        response = explore(request_for(
+            instance_doc,
+            kind="batch",
+            strategy=StrategySpec(
+                "sa",
+                {"keep_trace": True},
+                initial_solution=donor_best["solution"],
+            ),
+            budget=BudgetSpec(iterations=60, warmup_iterations=0),
+            seeds=(5, 6),
+        ))
+        for result in response.results:
+            assert result["history"][0] <= donor_best["cost"] + 1e-9
+
+
+class TestAnytimeSnapshots:
+    def test_interval_iterations_snapshots(self, instance_doc):
+        response = explore(request_for(
+            instance_doc,
+            budget=BudgetSpec(
+                iterations=100,
+                warmup_iterations=0,
+                anytime={"interval_iterations": 10},
+            ),
+        ))
+        assert response.partials is not None
+        (entry,) = response.partials
+        assert entry["index"] == 0
+        snapshots = entry["snapshots"]
+        assert len(snapshots) >= 5
+        for snapshot in snapshots:
+            assert set(snapshot) == {
+                "iteration", "best_cost", "current_cost", "elapsed_s",
+            }
+        iterations = [s["iteration"] for s in snapshots]
+        assert iterations == sorted(iterations)
+        best = [s["best_cost"] for s in snapshots]
+        assert best == sorted(best, reverse=True)  # monotone improvement
+
+    def test_interval_s_snapshots(self, instance_doc):
+        response = explore(request_for(
+            instance_doc,
+            budget=BudgetSpec(
+                iterations=200,
+                warmup_iterations=0,
+                anytime={"interval_s": 1e-6},
+            ),
+        ))
+        assert response.partials is not None
+        assert response.partials[0]["snapshots"]
+
+    def test_partials_survive_the_wire(self, instance_doc):
+        response = explore(request_for(
+            instance_doc,
+            budget=BudgetSpec(
+                iterations=100,
+                warmup_iterations=0,
+                anytime={"interval_iterations": 25},
+            ),
+        ))
+        document = response.to_dict()
+        assert document["partials"] == response.partials
+        reloaded = ExplorationResponse.from_json(response.to_json())
+        assert reloaded.partials == response.partials
+
+    def test_snapshots_are_deterministic_modulo_time(self, instance_doc):
+        from repro.obs.telemetry import strip_times
+
+        request = request_for(
+            instance_doc,
+            budget=BudgetSpec(
+                iterations=100,
+                warmup_iterations=0,
+                anytime={"interval_iterations": 10},
+            ),
+        )
+        a = strip_times(explore(request).to_dict())["partials"]
+        b = strip_times(explore(request).to_dict())["partials"]
+        assert a == b
+
+    def test_no_anytime_no_partials(self, instance_doc):
+        response = explore(request_for(instance_doc))
+        assert response.partials is None
+
+    def test_time_limit_caps_the_run(self, instance_doc):
+        request = request_for(
+            instance_doc,
+            budget=BudgetSpec(
+                iterations=10_000_000, warmup_iterations=0,
+                time_limit_s=0.2,
+            ),
+        )
+        response = explore(request)
+        assert response.results[0]["iterations_run"] < 10_000_000
+        assert json.loads(response.to_json())["kind"] == "single"

@@ -1,0 +1,127 @@
+"""Decode-or-repair seeding of persisted solution documents.
+
+The warm-start contract: :func:`repro.mapping.seed.seed_solution` is
+deterministic (no RNG), total (always returns a feasible, validating
+solution), and honest about repairs (0 iff the document decoded
+verbatim).
+"""
+
+import math
+
+import pytest
+
+from repro.io import solution_to_dict
+from repro.errors import MappingError
+from repro.mapping.evaluator import Evaluator
+from repro.mapping.seed import seed_solution
+from repro.mapping.solution import Solution
+
+
+def mixed_solution(small_app, small_arch) -> Solution:
+    """Tasks 1 and 2 share an FPGA context, the rest run in software."""
+    solution = Solution(small_app, small_arch)
+    for t in (0, 3, 4, 5):
+        solution.assign_to_processor(t, "cpu")
+    ctx = solution.spawn_context(1, "fpga")
+    solution.assign_to_context(2, "fpga", ctx)
+    solution.validate()
+    return solution
+
+
+def makespan_of(solution) -> float:
+    return Evaluator(
+        solution.application, solution.architecture
+    ).evaluate(solution).makespan_ms
+
+
+class TestVerbatimDecode:
+    def test_identical_instance_replays_exactly(self, small_app, small_arch):
+        donor = mixed_solution(small_app, small_arch)
+        document = solution_to_dict(donor)
+        seed, repairs = seed_solution(document, small_app, small_arch)
+        assert repairs == 0
+        assert solution_to_dict(seed) == document
+        assert makespan_of(seed) == makespan_of(donor)
+
+    def test_all_software_donor_replays_exactly(
+        self, small_solution, small_app, small_arch
+    ):
+        document = solution_to_dict(small_solution)
+        seed, repairs = seed_solution(document, small_app, small_arch)
+        assert repairs == 0
+        assert solution_to_dict(seed) == document
+
+    def test_deterministic(self, small_app, small_arch):
+        document = solution_to_dict(mixed_solution(small_app, small_arch))
+        a, _ = seed_solution(document, small_app, small_arch)
+        b, _ = seed_solution(document, small_app, small_arch)
+        assert solution_to_dict(a) == solution_to_dict(b)
+
+
+class TestRepairs:
+    def test_out_of_range_choice_is_clamped(self, small_app, small_arch):
+        document = solution_to_dict(mixed_solution(small_app, small_arch))
+        document["implementation_choices"]["1"] = 99
+        seed, repairs = seed_solution(document, small_app, small_arch)
+        assert repairs >= 1
+        task = small_app.task(1)
+        assert (
+            0 <= seed.implementation_choice(1) < task.num_implementations
+        )
+        assert math.isfinite(makespan_of(seed))
+
+    def test_vanished_resource_diverts_to_processor(
+        self, small_app, small_arch
+    ):
+        document = solution_to_dict(mixed_solution(small_app, small_arch))
+        # the donor's FPGA does not exist on the new platform
+        document["contexts"] = {"ghost_fpga": document["contexts"]["fpga"]}
+        seed, repairs = seed_solution(document, small_app, small_arch)
+        assert repairs >= 2  # tasks 1 and 2 drifted off the FPGA
+        assert seed.resource_name_of(1) == "cpu"
+        assert seed.resource_name_of(2) == "cpu"
+        seed.validate()
+        assert math.isfinite(makespan_of(seed))
+
+    def test_unplaced_tasks_are_inserted_after_predecessors(
+        self, small_app, small_arch
+    ):
+        document = solution_to_dict(mixed_solution(small_app, small_arch))
+        # the donor never saw task 4 (classify): drop it from its order
+        document["software_orders"]["cpu"] = [
+            t for t in document["software_orders"]["cpu"] if t != 4
+        ]
+        seed, repairs = seed_solution(document, small_app, small_arch)
+        assert repairs == 1
+        order = seed.software_order("cpu")
+        assert order.index(3) < order.index(4) < order.index(5)
+        seed.validate()
+        assert math.isfinite(makespan_of(seed))
+
+    def test_every_seed_is_feasible(self, small_app, small_arch):
+        # scrambled processor order: precedence-inverted donor documents
+        # must still come back schedulable (via repair or the
+        # all-software fallback)
+        document = solution_to_dict(mixed_solution(small_app, small_arch))
+        document["software_orders"]["cpu"] = [5, 4, 3, 0]
+        seed, repairs = seed_solution(document, small_app, small_arch)
+        seed.validate()
+        assert math.isfinite(makespan_of(seed))
+
+    def test_repairs_count_placement_drift(self, small_app, small_arch):
+        document = solution_to_dict(mixed_solution(small_app, small_arch))
+        document["contexts"] = {"ghost": document["contexts"]["fpga"]}
+        _, repairs = seed_solution(document, small_app, small_arch)
+        document_ok = solution_to_dict(
+            mixed_solution(small_app, small_arch)
+        )
+        _, repairs_ok = seed_solution(document_ok, small_app, small_arch)
+        assert repairs > repairs_ok == 0
+
+
+class TestErrors:
+    def test_non_solution_document_raises(self, small_app, small_arch):
+        with pytest.raises(MappingError, match="not a solution"):
+            seed_solution(
+                {"format": "instance"}, small_app, small_arch
+            )

@@ -202,7 +202,7 @@ class TestStatsAndGc:
         assert sorted(stats) == [
             "environment", "executions", "failed_attempts", "format",
             "hits", "queue", "records", "results", "root",
-            "schema_version",
+            "schema_version", "warm_start_hits", "warm_start_repairs",
         ]
         assert stats["format"] == STATS_FORMAT
         assert stats["schema_version"] == STATS_SCHEMA_VERSION

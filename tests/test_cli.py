@@ -514,3 +514,88 @@ class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBudgetFlagsAndDeadline:
+    """The PR's serving flags: --time-limit-s / --stall-limit /
+    --deadline-s, including --dump-spec round trips."""
+
+    def test_dump_spec_round_trips_budget_limits(self, tmp_path, capsys):
+        spec = str(tmp_path / "spec.json")
+        assert main([
+            "explore", "--iterations", "80", "--warmup", "10",
+            "--time-limit-s", "30", "--stall-limit", "500",
+            "--dump-spec", spec,
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(open(spec).read())
+        assert document["budget"]["time_limit_s"] == 30.0
+        assert document["budget"]["stall_limit"] == 500
+        # the dumped spec loads and runs unchanged
+        assert main(["explore", "--spec", spec, "--json"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["results"][0]["iterations_run"] <= 80
+
+    def test_serve_submit_dump_spec_has_budget_limits(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "serve", "submit", "--store", str(tmp_path / "store"),
+            "--iterations", "60", "--warmup", "10",
+            "--time-limit-s", "5", "--dump-spec",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["budget"]["time_limit_s"] == 5.0
+        assert document["budget"]["stall_limit"] is None
+
+    def test_time_limit_caps_a_long_run(self, capsys):
+        assert main([
+            "explore", "--iterations", "10000000", "--warmup", "0",
+            "--time-limit-s", "0.2", "--json",
+        ]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["results"][0]["iterations_run"] < 10000000
+
+    def test_deadline_returns_partial_envelope(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "serve", "submit", "--store", store,
+            "--iterations", "200000", "--warmup", "0",
+            "--deadline-s", "0.3", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["status"] == "partial"
+        assert document["record_status"] == "pending"
+        assert document["response"]["summary"]["partial"] is True
+        assert document["response"]["best"]["cost"] > 0
+
+        # the full job is still queued; workers complete it as usual
+        assert main([
+            "serve", "run-workers", "--store", store, "--workers", "1",
+        ]) == 0
+        assert "executed 1 job(s)" in capsys.readouterr().out
+
+    def test_deadline_hit_is_served_instantly(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        submit = [
+            "serve", "submit", "--store", store,
+            "--iterations", "60", "--warmup", "10", "--seed", "1",
+        ]
+        assert main(submit) == 0
+        assert main([
+            "serve", "run-workers", "--store", store, "--workers", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(submit + ["--deadline-s", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("hit: ")
+
+    def test_deadline_partial_human_output(self, tmp_path, capsys):
+        assert main([
+            "serve", "submit", "--store", str(tmp_path / "store"),
+            "--iterations", "200000", "--warmup", "0",
+            "--deadline-s", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("partial: ")
+        assert "partial best:" in out
